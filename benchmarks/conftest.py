@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (run pytest with ``-s`` to see the output live); a copy of each
+rendered artifact is also written to ``benchmarks/output/``.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture
+def report():
+    """Print a rendered table/figure and persist it to benchmarks/output/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return _report

@@ -1,0 +1,109 @@
+"""Ablation — are batching and pacing necessary? (§4.2.2, Corollary 1)
+
+Corollary 1 says LRTF *requires* equal inter-delivery times for points
+closer than δ; batching + pacing is how DBO meets it.  This ablation runs
+DBO with each mechanism switched off on a dense feed (one point per
+10 µs < δ) over a jittery network, where delivery clocks alone are not
+enough.  The two mechanisms fail differently:
+
+* **no pacing** — after a latency spike the delayed batches arrive (and
+  without pacing, deliver) bunched at the spiked participant while
+  spread at the others: inter-delivery gaps go unequal below δ and
+  fairness breaks;
+* **no batching** — pacing still equalizes gaps (fairness survives), but
+  points now arrive at 1/10 µs against a 1/δ = 1/20 µs dequeue limit, so
+  the release-buffer queues diverge and latency explodes.  Batching's
+  job is precisely to keep the batch rate at 1/((1+κ)δ) < 1/δ;
+* **neither** — fairness breaks *and* nothing bounds the horizon.
+"""
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.exchange.feed import FeedConfig
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import latency_stats
+from repro.metrics.report import render_table
+from repro.net.latency import CompositeLatency, StepLatency, UniformJitterLatency
+from repro.participants.response_time import UniformResponseTime
+
+DURATION_US = 30_000.0
+VARIANTS = [
+    ("full DBO", {}),
+    ("no pacing", {"disable_pacing": True}),
+    ("no batching", {"disable_batching": True}),
+    ("neither", {"disable_pacing": True, "disable_batching": True}),
+]
+
+
+def jittery_specs(n=4, seed=31):
+    """Jittery paths, plus recurring latency spikes on mp0's forward
+    path: after each spike the delayed batches arrive bunched together —
+    the exact condition pacing exists to repair (Figure 7)."""
+    spikes = StepLatency(
+        [(0.0, 0.0)]
+        + [
+            (start, height)
+            for burst in range(3)
+            for start, height in [
+                (5_000.0 + 8_000.0 * burst, 150.0),
+                (5_600.0 + 8_000.0 * burst, 0.0),
+            ]
+        ]
+    )
+    specs = []
+    for i in range(n):
+        forward = UniformJitterLatency(10.0 + i, 8.0, seed=seed + 2 * i)
+        if i == 0:
+            forward = CompositeLatency([forward, spikes])
+        specs.append(
+            NetworkSpec(
+                forward=forward,
+                reverse=UniformJitterLatency(10.0 + i, 8.0, seed=seed + 2 * i + 1),
+            )
+        )
+    return specs
+
+
+def run_all():
+    rows = []
+    ratios = {}
+    latencies = {}
+    for label, switches in VARIANTS:
+        deployment = DBODeployment(
+            jittery_specs(),
+            params=DBOParams(delta=20.0, kappa=0.25, tau=20.0),
+            feed_config=FeedConfig(interval=10.0),
+            response_time_model=UniformResponseTime(low=2.0, high=18.0, seed=5),
+            seed=8,
+            **switches,
+        )
+        result = deployment.run(duration=DURATION_US)
+        fairness = evaluate_fairness(result)
+        stats = latency_stats(result)
+        ratios[label] = fairness.ratio
+        latencies[label] = stats.avg
+        rows.append([label, fairness.percent, stats.avg, stats.p99])
+    text = render_table(
+        ["variant", "fairness %", "avg latency", "p99 latency"],
+        rows,
+        title="Ablation — batching and pacing (dense feed, jittery paths)",
+    )
+    return ratios, latencies, text
+
+
+def test_ablation_batching_pacing(benchmark, report):
+    ratios, latencies, text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("ablation_batching_pacing", text)
+
+    # Full DBO: perfect fairness at bounded latency.
+    assert ratios["full DBO"] == 1.0
+    assert latencies["full DBO"] < 200.0
+    # No pacing: inter-delivery gaps follow network jitter — unfair.
+    assert ratios["no pacing"] < 1.0
+    # No batching: pacing alone keeps fairness but the RB queue diverges
+    # (arrival rate 1/10 µs > dequeue limit 1/δ): latency explodes.
+    assert ratios["no batching"] > 0.999
+    assert latencies["no batching"] > 20 * latencies["full DBO"]
+    # Neither: unfair as well.
+    assert ratios["neither"] < 0.95

@@ -1,0 +1,82 @@
+"""Ablation — CloudEx's sensitivity to clock-synchronization error.
+
+§6.4 evaluates CloudEx under *perfect* synchronization because real
+testbeds could not sync tightly enough ("we experience frequent release
+and ordering buffer overruns").  This sweep quantifies that sensitivity:
+with generous thresholds on a quiet network, CloudEx is perfectly fair at
+zero error and decays as the error bound grows — while DBO (which uses no
+synchronized clocks at all) is immune by construction.
+"""
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.experiments.runner import run_scheme, summarize
+from repro.metrics.report import render_table
+from repro.net.latency import ConstantLatency
+from repro.participants.response_time import RaceResponseTime
+
+DURATION_US = 30_000.0
+ERRORS = (0.0, 0.5, 2.0, 8.0)
+N = 4
+
+
+def quiet_specs():
+    return [
+        NetworkSpec(
+            forward=ConstantLatency(10.0 + i), reverse=ConstantLatency(10.0 + i)
+        )
+        for i in range(N)
+    ]
+
+
+def run_sweep():
+    workload = RaceResponseTime(N, low=5.0, high=19.0, gap=0.5, seed=9)
+    rows = []
+    ratios = {}
+    for error in ERRORS:
+        summary = summarize(
+            run_scheme(
+                "cloudex",
+                quiet_specs(),
+                duration=DURATION_US,
+                c1=25.0,
+                c2=25.0,
+                sync_error=error,
+                response_time_model=workload,
+                seed=9,
+            ),
+            with_bound=False,
+        )
+        ratios[error] = summary.fairness.ratio
+        rows.append([error, summary.fairness.percent, summary.latency.avg])
+    dbo = summarize(
+        run_scheme(
+            "dbo",
+            quiet_specs(),
+            duration=DURATION_US,
+            params=DBOParams(delta=20.0),
+            response_time_model=workload,
+            seed=9,
+        ),
+        with_bound=False,
+    )
+    rows.append(["dbo (no sync)", dbo.fairness.percent, dbo.latency.avg])
+    text = render_table(
+        ["sync error (us)", "fairness %", "avg latency"],
+        rows,
+        title="Ablation — CloudEx vs clock-sync error (0.5 µs race margins)",
+    )
+    return ratios, dbo.fairness.ratio, text
+
+
+def test_ablation_cloudex_sync_error(benchmark, report):
+    ratios, dbo_ratio, text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("ablation_cloudex_sync_error", text)
+
+    # Perfect sync: perfectly fair on a quiet network.
+    assert ratios[0.0] == 1.0
+    # Error comparable to the race margins breaks fairness.
+    assert ratios[2.0] < 1.0
+    assert ratios[8.0] < ratios[2.0] + 0.02
+    # DBO needs no synchronization at all.
+    assert dbo_ratio == 1.0

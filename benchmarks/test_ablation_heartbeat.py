@@ -1,0 +1,60 @@
+"""Ablation — heartbeat period τ (§4.2.1).
+
+Heartbeats are the OB's only progress proof for participants that are
+not trading: the slowest responder in every race waits up to τ for the
+others' heartbeats.  Sweeping τ shows the latency cost growing roughly
+linearly, while fairness stays perfect (heartbeats affect *when* trades
+release, never their order) and the heartbeat-processing load shrinks.
+"""
+
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.experiments.scenarios import cloud_specs
+from repro.exchange.feed import FeedConfig
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import latency_stats
+from repro.metrics.report import render_table
+from repro.participants.response_time import UniformResponseTime
+
+DURATION_US = 40_000.0
+TAUS = (5.0, 10.0, 20.0, 40.0, 80.0)
+
+
+def run_sweep():
+    rows = []
+    stats_by_tau = {}
+    for tau in TAUS:
+        deployment = DBODeployment(
+            cloud_specs(6, seed=12),
+            params=DBOParams(delta=20.0, kappa=0.25, tau=tau),
+            feed_config=FeedConfig(interval=40.0),
+            response_time_model=UniformResponseTime(low=5.0, high=19.0, seed=3),
+            seed=2,
+        )
+        result = deployment.run(duration=DURATION_US)
+        fairness = evaluate_fairness(result)
+        stats = latency_stats(result)
+        heartbeats = result.counters["ob_heartbeats_processed"]
+        stats_by_tau[tau] = (fairness.ratio, stats.avg, heartbeats)
+        rows.append([tau, fairness.percent, stats.avg, stats.p99, int(heartbeats)])
+    text = render_table(
+        ["tau (us)", "fairness %", "avg latency", "p99 latency", "heartbeats"],
+        rows,
+        title="Ablation — heartbeat period τ",
+    )
+    return stats_by_tau, text
+
+
+def test_ablation_heartbeat(benchmark, report):
+    stats_by_tau, text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("ablation_heartbeat", text)
+
+    # Fairness never depends on τ.
+    for ratio, _, _ in stats_by_tau.values():
+        assert ratio == 1.0
+    # Latency grows with τ...
+    assert stats_by_tau[80.0][1] > stats_by_tau[5.0][1]
+    # ...by roughly the extra wait for the race's slowest trade (< τ).
+    assert stats_by_tau[80.0][1] - stats_by_tau[5.0][1] < 80.0
+    # Heartbeat processing load scales ~1/τ.
+    assert stats_by_tau[5.0][2] > 4 * stats_by_tau[40.0][2]

@@ -1,0 +1,71 @@
+"""Ablation — OB processing capacity and the §5.2 sharding claim.
+
+"With higher numbers of MPs, a single OB instance would become the
+bottleneck (in aggregate, number of heartbeats scale linearly with
+participants)."  With a deterministic per-message service time of 0.8 µs
+(~1.25 M messages/s — a busy single core), the offered load crosses the
+flat OB's capacity between 16 and 32 participants and its queue — and
+every trade's latency — diverges.  Four shard servers absorb the same
+load with microseconds of queueing, and the master handles only the
+filtered summary/trade stream.
+"""
+
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.experiments.scenarios import cloud_specs
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import latency_stats
+from repro.metrics.report import render_table
+from repro.participants.response_time import UniformResponseTime
+
+DURATION_US = 6_000.0
+SERVICE_TIME_US = 0.8
+COUNTS = (8, 16, 32, 48)
+
+
+def run_one(n, shards):
+    deployment = DBODeployment(
+        cloud_specs(n, seed=12),
+        params=DBOParams(),
+        response_time_model=UniformResponseTime(5.0, 19.0, seed=1),
+        seed=2,
+        n_ob_shards=shards,
+        ob_service_time=SERVICE_TIME_US,
+    )
+    result = deployment.run(duration=DURATION_US, drain=60_000.0)
+    return (
+        latency_stats(result).avg,
+        result.counters["ob_service_max_delay"],
+        evaluate_fairness(result).ratio,
+    )
+
+
+def run_all():
+    rows = []
+    outcomes = {}
+    for n in COUNTS:
+        flat_avg, flat_delay, flat_fair = run_one(n, 1)
+        shard_avg, shard_delay, _ = run_one(n, 4)
+        outcomes[n] = (flat_avg, shard_avg, flat_fair)
+        rows.append([n, flat_avg, flat_delay, shard_avg, shard_delay])
+    text = render_table(
+        ["MPs", "flat avg", "flat svc delay", "4-shard avg", "shard svc delay"],
+        rows,
+        title=f"Ablation — OB capacity ({SERVICE_TIME_US} µs per message)",
+    )
+    return outcomes, text
+
+
+def test_ablation_ob_capacity(benchmark, report):
+    outcomes, text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("ablation_ob_capacity", text)
+
+    # Light load: flat and sharded equivalent.
+    flat8, shard8, _ = outcomes[8]
+    assert abs(flat8 - shard8) < 10.0
+    # Past saturation the flat OB diverges; shards stay flat.
+    flat48, shard48, flat48_fair = outcomes[48]
+    assert flat48 > 20 * shard48
+    assert shard48 < 100.0
+    # Saturation costs latency, never ordering: stamps still rule.
+    assert flat48_fair > 0.999

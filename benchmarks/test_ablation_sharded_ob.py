@@ -1,0 +1,66 @@
+"""Ablation — sharded ordering buffer (§5.2).
+
+A flat OB processes every heartbeat from every participant; in the
+two-level hierarchy each shard absorbs its subset's heartbeats and the
+master handles only shard summaries.  This sweep checks that sharding
+(a) preserves the exact final ordering, and (b) divides the per-component
+heartbeat load, which is the scaling claim.
+"""
+
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.experiments.scenarios import cloud_specs
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.report import render_table
+from repro.participants.response_time import UniformResponseTime
+
+DURATION_US = 20_000.0
+N_PARTICIPANTS = 16
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def run_sweep():
+    rows = []
+    orderings = {}
+    loads = {}
+    for n_shards in SHARD_COUNTS:
+        deployment = DBODeployment(
+            cloud_specs(N_PARTICIPANTS, seed=12),
+            params=DBOParams(delta=20.0),
+            response_time_model=UniformResponseTime(low=5.0, high=19.0, seed=3),
+            seed=3,
+            n_ob_shards=n_shards,
+        )
+        result = deployment.run(duration=DURATION_US)
+        fairness = evaluate_fairness(result)
+        orderings[n_shards] = deployment.ces.matching_engine.ordering()
+        if n_shards == 1:
+            per_component = result.counters["ob_heartbeats_processed"]
+        else:
+            per_component = result.counters["shard_heartbeats_processed"] / n_shards
+        loads[n_shards] = per_component
+        rows.append(
+            [
+                n_shards,
+                fairness.percent,
+                int(per_component),
+                int(result.counters.get("master_summaries_processed", 0)),
+            ]
+        )
+    text = render_table(
+        ["shards", "fairness %", "heartbeats/component", "master summaries"],
+        rows,
+        title=f"Ablation — OB sharding with {N_PARTICIPANTS} participants",
+    )
+    return orderings, loads, text
+
+
+def test_ablation_sharded_ob(benchmark, report):
+    orderings, loads, text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("ablation_sharded_ob", text)
+
+    # The hierarchy is semantically transparent: identical final ordering.
+    for n_shards in SHARD_COUNTS[1:]:
+        assert orderings[n_shards] == orderings[1]
+    # Per-component heartbeat load divides by the shard count.
+    assert loads[8] < loads[1] / 6.0

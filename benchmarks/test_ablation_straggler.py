@@ -1,0 +1,80 @@
+"""Ablation — straggler mitigation (§4.2.1).
+
+Theorem 3: fairness forces every trade to wait for the slowest
+participant's round trip.  With one participant suffering a multi-ms
+outage, this sweep compares no-mitigation (perfect fairness, everyone
+absorbs the outage) against straggler thresholds (healthy participants
+stay fast; the straggler bears the unfairness).
+"""
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import render_table
+from repro.net.latency import CompositeLatency, ConstantLatency, StepLatency
+from repro.participants.response_time import UniformResponseTime
+
+DURATION_US = 25_000.0
+THRESHOLDS = (None, 1000.0, 300.0)
+
+
+def build_specs():
+    spike = StepLatency([(0.0, 0.0), (5_000.0, 4_000.0), (12_000.0, 0.0)])
+    specs = [
+        NetworkSpec(
+            forward=CompositeLatency([ConstantLatency(10.0), spike]),
+            reverse=ConstantLatency(10.0),
+        )
+    ]
+    specs += [
+        NetworkSpec(forward=ConstantLatency(10.0 + i), reverse=ConstantLatency(10.0 + i))
+        for i in range(1, 4)
+    ]
+    return specs
+
+
+def run_sweep():
+    rows = []
+    outcomes = {}
+    for threshold in THRESHOLDS:
+        deployment = DBODeployment(
+            build_specs(),
+            params=DBOParams(delta=20.0, straggler_threshold=threshold),
+            response_time_model=UniformResponseTime(low=5.0, high=19.0, seed=4),
+            seed=4,
+        )
+        result = deployment.run(duration=DURATION_US, drain=40_000.0)
+        healthy = LatencyStats.from_samples(
+            [
+                t.forward_time - result.generation_times[t.trigger_point] - t.response_time
+                for t in result.completed_trades
+                if t.mp_id != "mp0"
+            ]
+        )
+        fairness = evaluate_fairness(result)
+        label = "off" if threshold is None else f"{threshold:.0f} us"
+        outcomes[threshold] = (fairness.ratio, healthy.maximum)
+        rows.append([label, fairness.percent, healthy.p50, healthy.maximum])
+    text = render_table(
+        ["threshold", "fairness %", "healthy p50", "healthy max"],
+        rows,
+        title="Ablation — straggler mitigation under a 7 ms outage at mp0",
+    )
+    return outcomes, text
+
+
+def test_ablation_straggler(benchmark, report):
+    outcomes, text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("ablation_straggler", text)
+
+    ratio_off, healthy_max_off = outcomes[None]
+    ratio_tight, healthy_max_tight = outcomes[300.0]
+    # No mitigation: (near-)perfect fairness, outage-scale latency for all.
+    assert ratio_off > 0.999
+    assert healthy_max_off > 2_000.0
+    # Tight threshold: healthy participants shielded from the outage...
+    assert healthy_max_tight < 500.0
+    # ...at a fairness cost borne by races involving the straggler.
+    assert ratio_tight < ratio_off

@@ -1,0 +1,39 @@
+"""Figure 10 — latency CDFs for DBO(δ, batch-span) configurations (§6.3.1).
+
+Paper reference: DBO(20,25) hugs the Max-RTT bound (batching delay zero,
+heartbeats ≈ +10 µs avg); DBO(45,60) shows one inflection (2-point
+batches: first point +40 µs); DBO(80,120) shows two inflections (3-point
+batches: +80/+40/0 µs).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure10_latency_cdfs
+
+DURATION_US = 100_000.0
+
+
+def test_fig10_latency_cdfs(benchmark, report):
+    fig = benchmark.pedantic(
+        figure10_latency_cdfs, kwargs={"duration": DURATION_US}, rounds=1, iterations=1
+    )
+    report("fig10_latency_cdf", fig.text)
+
+    samples = fig.extra["samples"]
+    p = lambda name, q: float(np.percentile(samples[name], q))
+
+    # Larger horizon/batch span ⇒ strictly more latency at the median+.
+    assert p("DBO(20,25)", 75) < p("DBO(45,60)", 75) < p("DBO(80,120)", 75)
+    # Everything is lower-bounded by Max-RTT.
+    assert p("Max-RTT", 50) < p("DBO(20,25)", 50)
+
+    # Inflection of DBO(45,60): ~half the trades pay ≈40 µs batching delay
+    # (the two-point batches), splitting the CDF into two modes ~40 apart.
+    spread_45_60 = p("DBO(45,60)", 90) - p("DBO(45,60)", 10)
+    assert spread_45_60 > 30.0
+    # DBO(80,120) spans ~80 µs of batching delays (three modes).
+    spread_80_120 = p("DBO(80,120)", 90) - p("DBO(80,120)", 10)
+    assert spread_80_120 > 60.0
+    # DBO(20,25) has no batching modes at all: tight CDF.
+    spread_20_25 = p("DBO(20,25)", 90) - p("DBO(20,25)", 10)
+    assert spread_20_25 < 20.0

@@ -1,0 +1,23 @@
+"""Figure 11 — the network trace driving the §6.4 simulations.
+
+Paper reference: 2 seconds of RTT between the CES and one RB in Azure —
+a flat band around ~55 µs with a handful of near-vertical spikes peaking
+around 600 µs.
+"""
+
+from repro.experiments.figures import figure11_network_trace
+
+
+def test_fig11_trace(benchmark, report):
+    fig = benchmark.pedantic(figure11_network_trace, rounds=1, iterations=1)
+    report("fig11_trace", fig.text + "\n\n" + fig.render_ascii())
+
+    trace = fig.extra["trace"]
+    # 2-second window.
+    assert abs(trace.duration - 2_000_000.0) < 1.0
+    # Flat base band near 55 µs: the median barely moves off the floor.
+    assert 54.0 < trace.percentile(50.0) < 62.0
+    # Rare spikes reaching hundreds of µs...
+    assert trace.max_value() > 400.0
+    # ...that are narrow: even p99 stays far below the peak.
+    assert trace.percentile(99.0) < trace.max_value() / 2.0

@@ -1,0 +1,36 @@
+"""Figure 12 — latency as a function of the number of participants (§6.4).
+
+Paper reference: both the Max-RTT bound and DBO's mean/p99 latency grow
+with the number of participants (more trace slices ⇒ more chances the
+max includes a spike), with DBO tracking the bound plus a small
+batching/pacing/heartbeat overhead.
+"""
+
+from repro.experiments.figures import figure12_scaling
+
+COUNTS = (10, 30, 50, 70, 90)
+DURATION_US = 8_000.0
+
+
+def test_fig12_scaling(benchmark, report):
+    fig = benchmark.pedantic(
+        figure12_scaling,
+        kwargs={"participant_counts": COUNTS, "duration": DURATION_US},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig12_scaling", fig.text + "\n\n" + fig.render_ascii())
+
+    dbo_mean = dict(fig.series["dbo_mean"])
+    bound_mean = dict(fig.series["maxrtt_mean"])
+    dbo_p99 = dict(fig.series["dbo_p99"])
+    bound_p99 = dict(fig.series["maxrtt_p99"])
+
+    # Latency grows (weakly) with the participant count, end to end.
+    assert dbo_mean[COUNTS[-1]] >= dbo_mean[COUNTS[0]]
+    assert bound_mean[COUNTS[-1]] >= bound_mean[COUNTS[0]]
+    for count in COUNTS:
+        # DBO is bounded below by Max-RTT and tracks it closely.
+        assert dbo_mean[count] >= bound_mean[count] - 1e-6
+        assert dbo_mean[count] - bound_mean[count] < 50.0
+        assert dbo_p99[count] >= bound_p99[count] - 1e-6

@@ -1,0 +1,30 @@
+"""Figure 2 — CloudEx under a latency spike: unfairness + inflated latency.
+
+The paper's schematic shows that a clock-synchronization scheme suffers
+both failure modes at once: while the spike exceeds the release threshold
+C1 it overruns (unfairness), and at all other times its latency sits at
+the inflated C1 + C2 floor rather than the network's actual latency.
+"""
+
+from repro.experiments.figures import figure2_cloudex_spike
+
+
+def test_fig2_cloudex_spike(benchmark, report):
+    fig = benchmark.pedantic(figure2_cloudex_spike, rounds=1, iterations=1)
+    report("fig2_cloudex_spike", fig.text + "\n\n" + fig.render_ascii())
+
+    result = fig.extra["result"]
+    summary = fig.extra["summary"]
+    # Unfairness: the spike forced release-buffer overruns.
+    assert result.counters["data_overruns"] > 0
+    assert summary.fairness.ratio < 1.0
+    # Inflated latency: even in quiet periods CloudEx pays ~C1+C2 while
+    # direct delivery pays the raw network RTT.
+    cloudex_before_spike = [
+        lat for g, lat in fig.series["cloudex"] if g < 10_000.0
+    ]
+    direct_before_spike = [
+        lat for g, lat in fig.series["direct"] if g < 10_000.0
+    ]
+    avg = lambda xs: sum(xs) / len(xs)
+    assert avg(cloudex_before_spike) > avg(direct_before_spike) + 10.0

@@ -1,0 +1,93 @@
+"""Performance microbenchmarks of the core components.
+
+Unlike the table/figure benchmarks (single-shot regenerations), these use
+pytest-benchmark's real timing loops to measure component throughput:
+delivery-clock operations, ordering-buffer release cycles, order-book
+matching, and whole-simulation event rates.  They guard against
+accidental algorithmic regressions (e.g. an O(n²) slip in the OB heap).
+"""
+
+from repro.baselines.base import default_network_specs
+from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
+from repro.core.ordering_buffer import OrderingBuffer
+from repro.core.system import DBODeployment
+from repro.exchange.messages import Heartbeat, Side, TaggedTrade, TradeOrder
+from repro.exchange.order_book import LimitOrderBook
+from repro.sim.randomness import SubstreamCounter
+
+
+def test_perf_delivery_clock_read(benchmark):
+    clock = DeliveryClock()
+    clock.on_delivery(0, 100.0)
+
+    def read_many():
+        t = 100.0
+        for _ in range(1000):
+            t += 0.5
+            clock.read(t)
+
+    benchmark(read_many)
+
+
+def test_perf_ordering_buffer_cycle(benchmark):
+    """Push N trades + heartbeats through a 10-participant OB."""
+    mps = [f"mp{i}" for i in range(10)]
+
+    def cycle():
+        ob = OrderingBuffer(participants=mps, sink=lambda t, now: None)
+        stream = SubstreamCounter(1)
+        for point in range(50):
+            for index, mp in enumerate(mps):
+                stamp = DeliveryClockStamp(point, stream.next_uniform(0.0, 20.0))
+                order = TradeOrder(mp_id=mp, trade_seq=point * 10 + index)
+                ob.on_tagged_trade(
+                    TaggedTrade(trade=order, clock=stamp), 0.0, float(point)
+                )
+            for mp in mps:
+                ob.on_heartbeat(
+                    Heartbeat(mp_id=mp, clock=DeliveryClockStamp(point, 25.0)),
+                    0.0,
+                    float(point) + 0.5,
+                )
+        return ob.trades_released
+
+    released = benchmark(cycle)
+    assert released == 500
+
+
+def test_perf_order_book_matching(benchmark):
+    """Alternating maker/taker flow across a handful of price levels."""
+    prices = [9.5, 9.75, 10.0, 10.25, 10.5]
+
+    def churn():
+        book = LimitOrderBook()
+        stream = SubstreamCounter(2)
+        for seq in range(1000):
+            side = Side.BUY if stream.next_unit() < 0.5 else Side.SELL
+            price = prices[stream.next_int(0, len(prices) - 1)]
+            book.submit(
+                TradeOrder(
+                    mp_id="mp",
+                    trade_seq=seq,
+                    side=side,
+                    price=price,
+                    quantity=1 + stream.next_int(0, 4),
+                )
+            )
+        return len(book.executions)
+
+    executions = benchmark(churn)
+    assert executions > 100
+
+
+def test_perf_full_dbo_simulation(benchmark):
+    """End-to-end events/second for a 4-MP DBO run (5 ms of market)."""
+
+    def run():
+        deployment = DBODeployment(default_network_specs(4, seed=5), seed=1)
+        result = deployment.run(duration=5_000.0)
+        return deployment.engine.events_processed, len(result.completed_trades)
+
+    events, trades = benchmark(run)
+    assert trades == 4 * 125  # 125 ticks x 4 MPs
+    assert events > 1000

@@ -1,0 +1,36 @@
+"""Table 3 — fairness and end-to-end latency in the cloud (§6.3).
+
+Paper reference (10 MPs, Azure Standard_F8s, 125k trades/s aggregate):
+
+    scheme    fairness   avg    p50    p99    p999
+    Direct     57.61 %  27.90  27.48  32.50  44.03
+    Max-RTT       -     33.34  32.44  42.01  48.38
+    DBO       100.00 %  47.19  46.95  55.71  67.41
+
+Reproduction target: Direct barely better than a coin flip; DBO perfectly
+fair with sub-100 µs tail latency; Direct < Max-RTT < DBO in latency.
+"""
+
+from repro.experiments.tables import table3_cloud
+
+DURATION_US = 100_000.0
+
+
+def test_table3_cloud(benchmark, report):
+    result = benchmark.pedantic(
+        table3_cloud, kwargs={"duration": DURATION_US}, rounds=1, iterations=1
+    )
+    report("table3_cloud", result.text)
+
+    direct, dbo = result.summaries
+    assert 0.5 < direct.fairness.ratio < 0.7
+    assert dbo.fairness.ratio == 1.0
+    assert direct.latency.avg < dbo.max_rtt.avg < dbo.latency.avg
+    # The headline deployment claim: perfect fairness with sub-100 µs p99
+    # latency while servicing 125k trades/s.  (p999 rides on whether a
+    # spike lands in the window — the paper's own p9999 was ~3.5 ms.)
+    assert dbo.latency.p99 < 100.0
+    trades_per_second = len(dbo.counters) and (
+        direct.counters["trades_sequenced"] / (DURATION_US / 1e6)
+    )
+    assert trades_per_second >= 100_000.0

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Straggler mitigation (§4.2.1): one sick participant vs the market.
+
+Theorem 3 says fairness forces everyone to wait for the slowest
+participant's round trip.  When mp0's forward path suffers a multi-
+millisecond outage, a DBO deployment without mitigation stalls every
+trade; with a straggler threshold, the ordering buffer stops waiting for
+mp0, keeps everyone else fast, and lets mp0 bear the (temporary)
+unfairness — exactly the trade the paper describes.
+
+Run:  python examples/straggler_mitigation.py
+"""
+
+from repro import DBOParams, NetworkSpec
+from repro.core.system import DBODeployment
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import render_table
+from repro.net.latency import CompositeLatency, ConstantLatency, StepLatency
+
+SPIKE_START_US = 5_000.0
+SPIKE_END_US = 12_000.0
+SPIKE_HEIGHT_US = 4_000.0
+DURATION_US = 25_000.0
+
+
+def build_specs():
+    spike = StepLatency(
+        [(0.0, 0.0), (SPIKE_START_US, SPIKE_HEIGHT_US), (SPIKE_END_US, 0.0)]
+    )
+    specs = [
+        NetworkSpec(
+            forward=CompositeLatency([ConstantLatency(10.0), spike]),
+            reverse=ConstantLatency(10.0),
+        )
+    ]
+    for i in range(1, 4):
+        specs.append(
+            NetworkSpec(
+                forward=ConstantLatency(10.0 + i),
+                reverse=ConstantLatency(10.0 + i),
+            )
+        )
+    return specs
+
+
+def run(threshold):
+    from repro.participants.response_time import UniformResponseTime
+
+    deployment = DBODeployment(
+        build_specs(),
+        params=DBOParams(delta=20.0, straggler_threshold=threshold),
+        # Response times strictly inside the horizon: while the spike
+        # drains, mp0's inter-batch gap shrinks to exactly δ, so RTs at
+        # the δ boundary would fall outside the LRTF guarantee.
+        response_time_model=UniformResponseTime(low=5.0, high=19.0),
+        seed=4,
+    )
+    result = deployment.run(duration=DURATION_US, drain=40_000.0)
+    healthy = LatencyStats.from_samples(
+        [
+            t.forward_time - result.generation_times[t.trigger_point] - t.response_time
+            for t in result.completed_trades
+            if t.mp_id != "mp0"
+        ]
+    )
+    straggler = LatencyStats.from_samples(
+        [
+            t.forward_time - result.generation_times[t.trigger_point] - t.response_time
+            for t in result.completed_trades
+            if t.mp_id == "mp0"
+        ]
+    )
+    fairness = evaluate_fairness(result)
+    return healthy, straggler, fairness
+
+
+def main() -> None:
+    rows = []
+    for label, threshold in [("mitigation off", None), ("threshold = 300 µs", 300.0)]:
+        healthy, straggler, fairness = run(threshold)
+        rows.append(
+            [
+                label,
+                fairness.percent,
+                healthy.p50,
+                healthy.maximum,
+                straggler.maximum,
+            ]
+        )
+    print(
+        render_table(
+            ["config", "fairness %", "healthy p50", "healthy max", "straggler max"],
+            rows,
+            title=(
+                f"mp0's path spikes +{SPIKE_HEIGHT_US:.0f} µs for "
+                f"{(SPIKE_END_US - SPIKE_START_US) / 1000:.0f} ms — "
+                "who pays for it?"
+            ),
+        )
+    )
+    print()
+    print(
+        "Without mitigation every participant's worst-case latency absorbs\n"
+        "the outage (fairness stays ~perfect — sub-nanosecond response-time\n"
+        "margins can still flip under RB clock drift, Theorem 3's fine\n"
+        "print).  With the threshold, healthy participants stay at\n"
+        "microsecond latency and only mp0's own trades are late/unfairly\n"
+        "ordered."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Trace-driven simulation (§6.4): replay a cloud RTT trace at scale.
+
+Reproduces the paper's simulation methodology end to end:
+
+1. synthesize a Figure-11-shaped RTT trace (or load your own CSV);
+2. derive per-participant one-way latency models by taking random slices
+   of the trace and halving the RTTs;
+3. run DBO at several participant counts and print latency vs scale,
+   including the Max-RTT lower bound of Theorem 3.
+
+Run:  python examples/trace_driven_sim.py [path/to/trace.csv]
+"""
+
+import sys
+
+from repro import DBOParams, run_scheme, summarize, trace_specs
+from repro.experiments.scenarios import sim_trace
+from repro.metrics.report import render_series
+from repro.net.trace import load_trace_csv, save_trace_csv
+
+PARTICIPANT_COUNTS = (5, 15, 30)
+DURATION_US = 15_000.0
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        trace = load_trace_csv(sys.argv[1])
+        print(f"loaded trace from {sys.argv[1]}")
+    else:
+        trace = sim_trace(seed=2023)
+        save_trace_csv(trace, "/tmp/dbo_example_trace.csv")
+        print("synthesized a Figure-11-shaped trace "
+              "(saved to /tmp/dbo_example_trace.csv)")
+    print(
+        f"trace: {trace.duration / 1000:.0f} ms, RTT "
+        f"min {trace.min_value():.1f} / mean {trace.mean_value():.1f} / "
+        f"max {trace.max_value():.1f} µs"
+    )
+    print()
+
+    mean_dbo, p99_dbo, mean_bound = [], [], []
+    for count in PARTICIPANT_COUNTS:
+        specs = trace_specs(count, trace=trace, seed=13)
+        summary = summarize(
+            run_scheme("dbo", specs, duration=DURATION_US, params=DBOParams())
+        )
+        mean_dbo.append(summary.latency.avg)
+        p99_dbo.append(summary.latency.p99)
+        mean_bound.append(summary.max_rtt.avg)
+        # Guaranteed LRTF up to the (negligible) RB clock-drift margin:
+        # sub-nanosecond response-time gaps can flip (§3 "Clock-drift rate").
+        assert summary.fairness.ratio > 0.999
+
+    print(
+        render_series(
+            "participants",
+            list(PARTICIPANT_COUNTS),
+            {
+                "DBO mean (µs)": mean_dbo,
+                "Max-RTT bound mean (µs)": mean_bound,
+                "DBO p99 (µs)": p99_dbo,
+            },
+            title="Latency vs scale on the replayed trace (fairness > 99.9 % throughout)",
+        )
+    )
+    print()
+    print("The bound (max round trip over all participants) grows as more")
+    print("random trace slices are drawn — more chances to include a spike —")
+    print("and DBO tracks it with a small batching/pacing/heartbeat overhead.")
+
+
+if __name__ == "__main__":
+    main()

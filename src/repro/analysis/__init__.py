@@ -1,0 +1,25 @@
+"""Analysis tooling: multi-seed statistics and parameter sweeps."""
+
+from repro.analysis.stats import (
+    MultiSeedResult,
+    SampleSummary,
+    aggregate_fairness,
+    aggregate_latency,
+    run_across_seeds,
+    summarize_samples,
+    wilson_interval,
+)
+from repro.analysis.sweep import SweepRow, sweep, sweep_table
+
+__all__ = [
+    "MultiSeedResult",
+    "SampleSummary",
+    "aggregate_fairness",
+    "aggregate_latency",
+    "run_across_seeds",
+    "summarize_samples",
+    "wilson_interval",
+    "SweepRow",
+    "sweep",
+    "sweep_table",
+]

@@ -1,0 +1,153 @@
+"""Statistical tooling for multi-seed experiments.
+
+Single runs of a stochastic simulation produce point estimates; credible
+claims ("DBO is 100 % fair, Direct is 58 %") need uncertainty.  This
+module provides:
+
+* :func:`wilson_interval` — a binomial confidence interval for fairness
+  ratios (pairs ordered correctly out of pairs observed), which behaves
+  sanely at ratios near 0 and 1 where the normal approximation fails;
+* :func:`summarize_samples` — mean / std / CI for latency-style samples;
+* :class:`MultiSeedResult` and :func:`aggregate_fairness` /
+  :func:`aggregate_latency` — run a scheme across seeds and fold the
+  per-seed metrics into mean ± CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import latency_stats
+from repro.metrics.records import RunResult
+
+__all__ = [
+    "wilson_interval",
+    "summarize_samples",
+    "SampleSummary",
+    "MultiSeedResult",
+    "run_across_seeds",
+    "aggregate_fairness",
+    "aggregate_latency",
+]
+
+# Two-sided z for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    if confidence not in _Z:
+        raise ValueError(f"confidence must be one of {sorted(_Z)}")
+    return _Z[confidence]
+
+
+def wilson_interval(
+    successes: int,
+    trials: int,
+    confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; degenerates to ``(0, 1)`` with no trials.
+    Appropriate for fairness ratios, which sit near 1.0 where the Wald
+    interval collapses to zero width.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = _z_for(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean ± CI of a set of scalar samples."""
+
+    count: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} [{self.ci_low:.3f}, {self.ci_high:.3f}] (n={self.count})"
+
+
+def summarize_samples(samples: Sequence[float], confidence: float = 0.95) -> SampleSummary:
+    """Mean, standard deviation, and a normal-approximation CI."""
+    if not samples:
+        return SampleSummary(0, math.nan, math.nan, math.nan, math.nan)
+    array = np.asarray(samples, dtype=float)
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if array.size > 1 else 0.0
+    half = _z_for(confidence) * std / math.sqrt(array.size) if array.size > 1 else 0.0
+    return SampleSummary(int(array.size), mean, std, mean - half, mean + half)
+
+
+@dataclass
+class MultiSeedResult:
+    """Per-seed run results for one configuration."""
+
+    seeds: List[int]
+    results: List[RunResult]
+
+    def __post_init__(self) -> None:
+        if len(self.seeds) != len(self.results):
+            raise ValueError("seeds and results must align")
+
+
+def run_across_seeds(
+    run_fn: Callable[[int], RunResult],
+    seeds: Sequence[int],
+) -> MultiSeedResult:
+    """Run ``run_fn(seed)`` for every seed and collect the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [run_fn(seed) for seed in seeds]
+    return MultiSeedResult(list(seeds), results)
+
+
+def aggregate_fairness(
+    multi: MultiSeedResult,
+    confidence: float = 0.95,
+) -> Dict[str, object]:
+    """Pooled fairness across seeds: ratio + Wilson CI + per-seed spread.
+
+    Pools all pairs across seeds (runs are independent by construction)
+    for the headline interval, and also reports the per-seed ratios.
+    """
+    per_seed = [evaluate_fairness(result) for result in multi.results]
+    successes = sum(r.correct_pairs for r in per_seed)
+    trials = sum(r.total_pairs for r in per_seed)
+    low, high = wilson_interval(successes, trials, confidence)
+    ratios = [r.ratio for r in per_seed]
+    return {
+        "ratio": successes / trials if trials else 1.0,
+        "ci": (low, high),
+        "pairs": trials,
+        "per_seed": dict(zip(multi.seeds, ratios)),
+    }
+
+
+def aggregate_latency(
+    multi: MultiSeedResult,
+    statistic: str = "avg",
+    confidence: float = 0.95,
+) -> SampleSummary:
+    """Across-seed summary of a per-run latency statistic (avg/p50/p99...)."""
+    values = []
+    for result in multi.results:
+        stats = latency_stats(result)
+        if not hasattr(stats, statistic):
+            raise ValueError(f"unknown latency statistic {statistic!r}")
+        values.append(getattr(stats, statistic))
+    return summarize_samples(values, confidence)

@@ -1,0 +1,347 @@
+"""Shared deployment scaffolding for every scheme.
+
+A *deployment* wires the substrates into a runnable system: one CES, one
+network spec per participant (forward and reverse latency models, loss
+parameters, optional RB↔MP models), the participant agents, and the
+scheme-specific delivery/ordering pipeline.  All schemes share this base
+so they run the *same workload over the same network processes*: the
+response-time draws, price path, and latency samples are functions of the
+same seeds regardless of scheme.
+
+Concrete schemes (`DBODeployment` in :mod:`repro.core.system`,
+`DirectDeployment`, `CloudExDeployment`, `FBADeployment`,
+`LibraDeployment` here in :mod:`repro.baselines`) implement
+:meth:`BaseDeployment._build` to construct their pipeline and
+:meth:`BaseDeployment._start` to kick off timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exchange.ces import CentralExchangeServer
+from repro.exchange.feed import FeedConfig
+from repro.exchange.messages import TradeOrder
+from repro.metrics.records import RunResult, TradeRecord
+from repro.net.latency import LatencyModel, UniformJitterLatency
+from repro.net.link import Link, LossyLink
+from repro.participants.mp import MarketParticipant
+from repro.participants.response_time import ResponseTimeModel, UniformResponseTime
+from repro.participants.strategies import SpeedRacer, Strategy
+from repro.sim.clocks import Clock, DriftingClock
+from repro.sim.engine import EventEngine
+from repro.sim.randomness import stable_u64, stable_uniform
+
+__all__ = ["NetworkSpec", "BaseDeployment", "default_network_specs"]
+
+
+@dataclass
+class NetworkSpec:
+    """The network as seen by one participant.
+
+    Attributes
+    ----------
+    forward:
+        CES→participant one-way latency model (market data path).
+    reverse:
+        participant→CES one-way latency model (trade path).
+    loss_probability:
+        Per-packet loss probability on the forward (market data) path
+        (Appendix D).
+    reverse_loss_probability:
+        Loss probability on the reverse (trade/heartbeat) path; ``None``
+        (default) mirrors ``loss_probability``.
+    recovery_delay:
+        Extra delay of the out-of-band retransmission path (µs).
+    rb_to_mp:
+        Optional RB→MP latency (non-colocated RB, §4.2.3); ``None`` means
+        colocated (zero).
+    mp_to_rb:
+        Optional MP→RB latency for the trade intercept leg.
+    """
+
+    forward: LatencyModel
+    reverse: LatencyModel
+    loss_probability: float = 0.0
+    reverse_loss_probability: Optional[float] = None
+    recovery_delay: float = 1000.0
+    rb_to_mp: Optional[LatencyModel] = None
+    mp_to_rb: Optional[LatencyModel] = None
+
+    def loss_for(self, direction: str) -> float:
+        """Loss probability for ``"forward"`` or ``"reverse"``."""
+        if direction == "reverse" and self.reverse_loss_probability is not None:
+            return self.reverse_loss_probability
+        return self.loss_probability
+
+
+def default_network_specs(
+    n_participants: int,
+    base_low: float = 10.0,
+    base_high: float = 17.0,
+    jitter: float = 2.0,
+    seed: int = 1,
+) -> List[NetworkSpec]:
+    """Heterogeneous one-way latencies: the cloud's non-equidistant paths.
+
+    Each participant gets its own base latency in ``[base_low, base_high)``
+    per direction plus jitter — the static skew + dynamic noise that makes
+    Direct delivery unfair.
+    """
+    specs: List[NetworkSpec] = []
+    for index in range(n_participants):
+        fwd_base = stable_uniform(base_low, base_high, seed, index, 0)
+        rev_base = stable_uniform(base_low, base_high, seed, index, 1)
+        specs.append(
+            NetworkSpec(
+                forward=UniformJitterLatency(
+                    fwd_base, jitter, seed=stable_u64(seed, index, 2)
+                ),
+                reverse=UniformJitterLatency(
+                    rev_base, jitter, seed=stable_u64(seed, index, 3)
+                ),
+            )
+        )
+    return specs
+
+
+class BaseDeployment:
+    """Common wiring: engine, CES, participants, record assembly.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`NetworkSpec` per participant.
+    feed_config:
+        Market-data cadence and price process (paper default: 40 µs).
+    response_time_model:
+        Shared RT model (draws are per participant-index anyway).
+    strategy_factory:
+        ``index -> Strategy``; defaults to the speed-racer workload.
+    execute_trades:
+        Whether the matching engine crosses orders on a real book.
+    seed:
+        Seeds clock offsets/drifts and scheme-internal randomness.
+    rb_clock_drift:
+        Magnitude of RB clock drift-rate draws (paper cites < 2e-4).
+        RB clocks also get large random offsets — schemes must not care.
+    """
+
+    scheme_name = "base"
+
+    def __init__(
+        self,
+        specs: Sequence[NetworkSpec],
+        feed_config: Optional[FeedConfig] = None,
+        response_time_model: Optional[ResponseTimeModel] = None,
+        strategy_factory: Optional[Callable[[int], Strategy]] = None,
+        execute_trades: bool = False,
+        publish_executions: bool = False,
+        seed: int = 0,
+        rb_clock_drift: float = 1e-4,
+    ) -> None:
+        if not specs:
+            raise ValueError("deployment needs at least one participant")
+        self.specs = list(specs)
+        self.seed = seed
+        self.rb_clock_drift = rb_clock_drift
+        self.engine = EventEngine()
+        self.ces = CentralExchangeServer(
+            self.engine,
+            feed_config=feed_config,
+            execute_trades=execute_trades,
+            publish_executions=publish_executions,
+        )
+        self.response_time_model = (
+            response_time_model if response_time_model is not None else UniformResponseTime()
+        )
+        strategy_factory = strategy_factory or (lambda index: SpeedRacer(seed=index))
+        self.mp_ids = [f"mp{index}" for index in range(len(self.specs))]
+        self.participants: List[MarketParticipant] = [
+            MarketParticipant(
+                self.engine,
+                mp_id=self.mp_ids[index],
+                mp_index=index,
+                response_time_model=self.response_time_model,
+                strategy=strategy_factory(index),
+            )
+            for index in range(len(self.specs))
+        ]
+        # Per-point network send times: stamped when a point (or the batch
+        # carrying it) enters the network.
+        self.network_send_times: Dict[int, float] = {}
+        # External stream configs: (name, latency_model, mean_interval, seed).
+        self._external_configs: List[tuple] = []
+        self.external_sources: List = []
+        self.stream_merger = None
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # External streams (§4.2.6): serialized into the market-data stream.
+    # ------------------------------------------------------------------
+    def add_external_source(
+        self,
+        name: str,
+        latency_model: LatencyModel,
+        mean_interval: float,
+        seed: int = 0,
+    ) -> None:
+        """Register an external event stream (news, foreign feed).
+
+        Events travel to the CES over ``latency_model`` and are serialized
+        into the market-data super stream, inheriting the scheme's
+        fairness treatment.  Call before :meth:`run`.
+        """
+        if self._built:
+            raise RuntimeError("add external sources before run()")
+        self._external_configs.append((name, latency_model, mean_interval, seed))
+
+    def _wire_external_sources(self, duration: float) -> None:
+        if not self._external_configs:
+            return
+        from repro.exchange.external import ExternalSource, StreamMerger
+
+        self.stream_merger = StreamMerger(self.ces)
+        for name, model, mean_interval, seed in self._external_configs:
+            link = Link(self.engine, model, handler=self.stream_merger.on_event,
+                        name=f"ext-{name}")
+            source = ExternalSource(
+                self.engine, name, link, mean_interval=mean_interval, seed=seed
+            )
+            source.start(start_time=0.0, stop_time=duration)
+            self.external_sources.append(source)
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete schemes
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Construct the scheme's delivery and ordering pipeline."""
+        raise NotImplementedError
+
+    def _start(self, duration: float) -> None:
+        """Start scheme timers (heartbeats etc.).  Default: nothing."""
+
+    def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
+        """Per-participant raw network arrival time per point."""
+        raise NotImplementedError
+
+    def _delivery_times(self) -> Dict[str, Dict[int, float]]:
+        """Per-participant ``D(i, x)`` (after any scheme hold)."""
+        raise NotImplementedError
+
+    def _counters(self) -> Dict[str, float]:
+        """Scheme-specific odometers merged into the result."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _make_rb_clock(self, index: int) -> Clock:
+        """A local clock with an arbitrary offset and small drift.
+
+        Deliberately *not* synchronized: correct schemes must only use
+        intervals of these clocks.
+        """
+        offset = stable_uniform(0.0, 1e9, self.seed, index, 100)
+        drift = stable_uniform(-self.rb_clock_drift, self.rb_clock_drift, self.seed, index, 101)
+        return DriftingClock(offset=offset, drift_rate=drift)
+
+    def _make_link(
+        self,
+        model: LatencyModel,
+        spec: NetworkSpec,
+        name: str,
+        seed_salt: int,
+        direction: str = "forward",
+    ) -> Link:
+        """A (possibly lossy) FIFO link for one leg of one participant."""
+        loss = spec.loss_for(direction)
+        if loss > 0.0:
+            return LossyLink(
+                self.engine,
+                model,
+                loss_probability=loss,
+                recovery_delay=spec.recovery_delay,
+                seed=stable_u64(self.seed, seed_salt),
+                name=name,
+            )
+        return Link(self.engine, model, name=name)
+
+    def _wire_mp_submitter(self, index: int, rb_intercept: Callable[[TradeOrder], None]) -> None:
+        """Connect an MP's trade output to its RB, honouring mp_to_rb delay."""
+        spec = self.specs[index]
+        if spec.mp_to_rb is None:
+            self.participants[index].connect(rb_intercept)
+            return
+
+        model = spec.mp_to_rb
+
+        def delayed_submit(order: TradeOrder) -> None:
+            now = self.engine.now
+            at = now + model.latency_at(now)
+            self.engine.schedule_at(at, lambda order=order: rb_intercept(order), priority=1)
+
+        self.participants[index].connect(delayed_submit)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: float, drain: Optional[float] = None) -> RunResult:
+        """Generate data for ``duration`` µs, drain in-flight trades,
+        and assemble the :class:`RunResult`.
+
+        ``drain`` defaults to a generous window (covers spike-scale
+        latencies); trades still unfinished after it are reported
+        incomplete rather than waited for indefinitely.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self._built:
+            self._build()
+            self._built = True
+        if drain is None:
+            drain = max(20_000.0, 0.05 * duration)
+        self.ces.start(start_time=0.0, stop_time=duration)
+        self._wire_external_sources(duration)
+        self._start(duration)
+        self.engine.run(until=duration + drain)
+        return self._assemble(duration)
+
+    def _assemble(self, duration: float) -> RunResult:
+        me = self.ces.matching_engine
+        trades: List[TradeRecord] = []
+        for mp in self.participants:
+            for order in mp.submitted:
+                trades.append(
+                    TradeRecord(
+                        mp_id=order.mp_id,
+                        trade_seq=order.trade_seq,
+                        trigger_point=order.trigger_point,
+                        response_time=order.response_time,
+                        submission_time=order.submission_time,
+                        forward_time=me.forward_time_of(order.key),
+                        position=me.position_of(order.key),
+                    )
+                )
+        generation_times = {
+            point.point_id: point.generation_time for point in self.ces.feed.generated
+        }
+        reverse_models = {
+            self.mp_ids[index]: self.specs[index].reverse for index in range(len(self.specs))
+        }
+
+        def reverse_latency_at(mp_id: str, t: float) -> float:
+            return reverse_models[mp_id].latency_at(t)
+
+        return RunResult(
+            scheme=self.scheme_name,
+            trades=trades,
+            generation_times=generation_times,
+            network_send_times=dict(self.network_send_times),
+            raw_arrivals=self._raw_arrivals(),
+            delivery_times=self._delivery_times(),
+            reverse_latency_at=reverse_latency_at,
+            duration=duration,
+            counters=self._counters(),
+        )

@@ -1,0 +1,208 @@
+"""CloudEx — the clock-synchronization baseline (§2.1, Figure 13).
+
+CloudEx equalizes latency *ex ante*: every component has a synchronized
+clock; a data point generated at ``t`` is held by each release buffer and
+handed to its participant at ``t + C1``; a trade submitted at ``t`` is
+held by the ordering buffer and forwarded to the matching engine at
+``t + C2``, with trades ordered by their (synchronized) submission
+timestamps.
+
+Its failure mode is exactly the paper's Figure 2: when the network
+latency of some leg exceeds the threshold, the deadline is already gone
+when the packet arrives — the component can only forward immediately
+("overrun"), and fairness breaks.  Raising C1/C2 buys fairness but
+inflates latency *always*, not just during spikes.  §6.4 evaluates
+CloudEx with perfectly synchronized clocks; the ``sync_error`` knob here
+additionally models imperfect synchronization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaseDeployment
+from repro.exchange.messages import MarketDataPoint, TradeOrder
+from repro.sim.clocks import SynchronizedClock
+from repro.sim.randomness import stable_u64
+
+__all__ = ["CloudExDeployment", "CloudExReleaseBuffer", "CloudExOrderingBuffer"]
+
+
+class CloudExReleaseBuffer:
+    """Per-participant buffer releasing data at ``G(x) + C1`` (sync time)."""
+
+    def __init__(self, engine, mp_id: str, c1: float, clock: SynchronizedClock) -> None:
+        self.engine = engine
+        self.mp_id = mp_id
+        self.c1 = float(c1)
+        self.clock = clock
+        self._mp_handler = None
+        self._last_release = float("-inf")
+        self.release_times: Dict[int, float] = {}
+        self.raw_arrivals: Dict[int, float] = {}
+        self.overruns = 0
+
+    def connect_mp(self, handler) -> None:
+        self._mp_handler = handler
+
+    def on_point(self, point: MarketDataPoint, send_time: float, arrival_time: float) -> None:
+        self.raw_arrivals[point.point_id] = arrival_time
+        # Target release in *local synchronized* time is G(x) + C1; the
+        # local clock's error shifts the corresponding true time.
+        target_local = point.generation_time + self.c1
+        target_true = target_local - self.clock.error_at(arrival_time)
+        release = max(target_true, arrival_time, self._last_release)
+        if release > target_true:
+            self.overruns += 1
+        self._last_release = release
+
+        def deliver(point=point, release=release) -> None:
+            self.release_times[point.point_id] = release
+            self._mp_handler((point,), release)
+
+        self.engine.schedule_at(release, deliver, priority=0)
+
+
+class CloudExOrderingBuffer:
+    """CES-side buffer forwarding trades at ``S + C2``, ordered by ``S``.
+
+    Trades arriving after their deadline have missed their slot and are
+    forwarded immediately — out of order, i.e. unfairly.
+    """
+
+    def __init__(self, engine, c2: float, clock: SynchronizedClock, sink) -> None:
+        self.engine = engine
+        self.c2 = float(c2)
+        self.clock = clock
+        self.sink = sink
+        # Heap keyed by (stamped submission time, mp_id, seq).
+        self._heap: List[Tuple[float, str, int, TradeOrder]] = []
+        self.overruns = 0
+        self.trades_forwarded = 0
+
+    def on_trade(self, stamped: Tuple[TradeOrder, float], send_time: float, arrival_time: float) -> None:
+        order, submit_stamp = stamped
+        deadline_local = submit_stamp + self.c2
+        deadline_true = deadline_local - self.clock.error_at(arrival_time)
+        if arrival_time >= deadline_true:
+            # Deadline already missed: forward now, out of order.
+            self.overruns += 1
+            self._forward(order, arrival_time)
+            return
+        heapq.heappush(self._heap, (submit_stamp, order.mp_id, order.trade_seq, order))
+        self.engine.schedule_at(deadline_true, self._release_due, priority=2)
+
+    def _release_due(self) -> None:
+        now = self.engine.now
+        # Forward every queued trade whose deadline has passed, in stamp
+        # order (deadline order == stamp order since C2 is constant).
+        while self._heap:
+            submit_stamp, _, _, order = self._heap[0]
+            deadline_true = submit_stamp + self.c2 - self.clock.error_at(now)
+            if deadline_true > now + 1e-9:
+                break
+            heapq.heappop(self._heap)
+            self._forward(order, now)
+
+    def _forward(self, order: TradeOrder, now: float) -> None:
+        self.trades_forwarded += 1
+        self.sink(order, now)
+
+
+class CloudExDeployment(BaseDeployment):
+    """A runnable CloudEx system.
+
+    Parameters beyond the base: one-way thresholds ``c1`` (data) and
+    ``c2`` (trades), and ``sync_error`` — the clock synchronization error
+    bound (0 reproduces §6.4's perfect-sync assumption).
+    """
+
+    scheme_name = "cloudex"
+
+    def __init__(
+        self,
+        specs,
+        c1: float = 50.0,
+        c2: float = 50.0,
+        sync_error: float = 0.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(specs, **kwargs)
+        if c1 <= 0 or c2 <= 0:
+            raise ValueError("thresholds must be positive")
+        self.c1 = c1
+        self.c2 = c2
+        self.sync_error = sync_error
+        self.rbs: List[CloudExReleaseBuffer] = []
+        self.ob: Optional[CloudExOrderingBuffer] = None
+
+    def _make_sync_clock(self, salt: int) -> SynchronizedClock:
+        return SynchronizedClock(
+            error_bound=self.sync_error, seed=stable_u64(self.seed, salt)
+        )
+
+    def _build(self) -> None:
+        me = self.ces.matching_engine
+        self.ob = CloudExOrderingBuffer(
+            self.engine,
+            c2=self.c2,
+            clock=self._make_sync_clock(9999),
+            sink=lambda order, now: me.submit(order, forward_time=now),
+        )
+        from repro.net.multicast import MulticastGroup
+
+        self.multicast = MulticastGroup()
+        for index, spec in enumerate(self.specs):
+            mp_id = self.mp_ids[index]
+            mp = self.participants[index]
+            rb = CloudExReleaseBuffer(
+                self.engine, mp_id, c1=self.c1, clock=self._make_sync_clock(index)
+            )
+            rb.connect_mp(mp.on_data)
+            self.rbs.append(rb)
+
+            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
+            forward.connect(rb.on_point)
+            if hasattr(forward, "loss_handler"):
+                forward.loss_handler = rb.on_point
+            self.multicast.add_member(mp_id, forward)
+
+            reverse = self._make_link(
+                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+                direction="reverse",
+            )
+            reverse.connect(self.ob.on_trade)
+            if hasattr(reverse, "loss_handler"):
+                reverse.loss_handler = self.ob.on_trade
+
+            mp_clock = self._make_sync_clock(1000 + index)
+
+            def submit(order: TradeOrder, link=reverse, mp_clock=mp_clock) -> None:
+                # The trusted component at the participant stamps the trade
+                # with the synchronized clock at submission.
+                stamp = mp_clock.now(self.engine.now)
+                link.send((order, stamp))
+
+            self._wire_mp_submitter(index, submit)
+
+        self.ces.set_distributor(self._publish_point)
+
+    def _publish_point(self, point: MarketDataPoint) -> None:
+        now = self.engine.now
+        self.network_send_times[point.point_id] = now
+        self.multicast.publish(point, send_time=now)
+
+    # ------------------------------------------------------------------
+    def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
+        return {rb.mp_id: dict(rb.raw_arrivals) for rb in self.rbs}
+
+    def _delivery_times(self) -> Dict[str, Dict[int, float]]:
+        return {rb.mp_id: dict(rb.release_times) for rb in self.rbs}
+
+    def _counters(self) -> Dict[str, float]:
+        return {
+            "data_overruns": float(sum(rb.overruns for rb in self.rbs)),
+            "trade_overruns": float(self.ob.overruns if self.ob else 0),
+            "trades_forwarded": float(self.ob.trades_forwarded if self.ob else 0),
+        }

@@ -1,0 +1,124 @@
+"""Frequent Batch Auctions (Budish et al.) — the matching-engine-change
+baseline (§2.1).
+
+FBA discretizes time: market data is released periodically (the paper
+quotes 1 batch per 100 ms — slow enough that every participant can
+respond before the next release), and all trades responding to a batch
+are executed with *equal priority*; we realize equal priority as a
+deterministic-seeded random shuffle at the auction boundary.
+
+FBA is "fair" in the sense that network latency gives nobody an edge —
+but it does so by abolishing the speed race entirely (a faster responder
+wins only 50 % of pairwise races) and its latency is the batch interval.
+Both effects show up in the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import BaseDeployment
+from repro.exchange.messages import MarketDataPoint, TradeOrder
+from repro.net.multicast import MulticastGroup
+from repro.sim.randomness import SubstreamCounter
+
+__all__ = ["FBADeployment"]
+
+
+class FBADeployment(BaseDeployment):
+    """A runnable Frequent-Batch-Auction system.
+
+    Parameters beyond the base:
+
+    batch_interval:
+        Auction period in µs (paper: 100 ms = 100 000 µs).  Data points
+        are buffered at the CES and released together at each boundary;
+        trades accumulated over a period are executed at the next
+        boundary in shuffled order.
+    """
+
+    scheme_name = "fba"
+
+    def __init__(self, specs, batch_interval: float = 100_000.0, **kwargs) -> None:
+        super().__init__(specs, **kwargs)
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        self.batch_interval = batch_interval
+        self._pending_points: List[MarketDataPoint] = []
+        self._pending_trades: List[TradeOrder] = []
+        self._arrivals: Dict[str, Dict[int, float]] = {}
+        self._deliveries: Dict[str, Dict[int, float]] = {}
+        self._shuffler = SubstreamCounter(self.seed, stream_id=77)
+        self.auctions_held = 0
+
+    def _build(self) -> None:
+        self.multicast = MulticastGroup()
+        self._arrivals = {mp_id: {} for mp_id in self.mp_ids}
+        self._deliveries = self._arrivals  # no extra hold beyond CES batching
+
+        for index, spec in enumerate(self.specs):
+            mp_id = self.mp_ids[index]
+            mp = self.participants[index]
+            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
+
+            def on_points(
+                points: Tuple[MarketDataPoint, ...],
+                send_time: float,
+                arrival_time: float,
+                mp=mp,
+                mp_id=mp_id,
+            ) -> None:
+                for point in points:
+                    self._arrivals[mp_id][point.point_id] = arrival_time
+                mp.on_data(points, arrival_time)
+
+            forward.connect(on_points)
+            if hasattr(forward, "loss_handler"):
+                forward.loss_handler = on_points
+            self.multicast.add_member(mp_id, forward)
+
+            reverse = self._make_link(
+                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+                direction="reverse",
+            )
+            reverse.connect(lambda order, s, a: self._pending_trades.append(order))
+            if hasattr(reverse, "loss_handler"):
+                reverse.loss_handler = lambda order, s, a: self._pending_trades.append(order)
+            self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
+
+        # Late-bound lambda: _auction swaps the pending list out, so the
+        # distributor must resolve the attribute at call time.
+        self.ces.set_distributor(lambda point: self._pending_points.append(point))
+
+    def _start(self, duration: float) -> None:
+        self.engine.schedule_at(self.batch_interval, self._auction)
+
+    def _auction(self) -> None:
+        now = self.engine.now
+        self.auctions_held += 1
+        if self._pending_points:
+            points = tuple(self._pending_points)
+            self._pending_points = []
+            for point in points:
+                self.network_send_times[point.point_id] = now
+            self.multicast.publish(points, send_time=now)
+        if self._pending_trades:
+            trades = self._pending_trades
+            self._pending_trades = []
+            # Equal priority: uniform random execution order.
+            order = sorted(
+                range(len(trades)), key=lambda _: self._shuffler.next_unit()
+            )
+            for position in order:
+                self.ces.matching_engine.submit(trades[position], forward_time=now)
+        self.engine.schedule_after(self.batch_interval, self._auction)
+
+    # ------------------------------------------------------------------
+    def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
+        return {mp_id: dict(points) for mp_id, points in self._arrivals.items()}
+
+    def _delivery_times(self) -> Dict[str, Dict[int, float]]:
+        return self._raw_arrivals()
+
+    def _counters(self) -> Dict[str, float]:
+        return {"auctions_held": float(self.auctions_held)}

@@ -1,0 +1,111 @@
+"""Libra (Mavroudis & Melton, AFT'19) — randomized ordering (§2.1).
+
+Libra tackles latency unfairness *stochastically*: instead of trusting
+arrival order, the exchange collects trades over short windows and
+assigns random priorities within each window.  When the network's latency
+variability is bounded by roughly the window length, a faster participant
+still lands in an earlier window more often than not, so it wins the race
+more than 50 % of the time — but never with certainty, and the guarantee
+degrades as latency variability grows past the window.
+
+Market data is delivered directly (Libra does not touch the forward
+path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.base import BaseDeployment
+from repro.exchange.messages import MarketDataPoint, TradeOrder
+from repro.net.multicast import MulticastGroup
+from repro.sim.randomness import SubstreamCounter
+
+__all__ = ["LibraDeployment"]
+
+
+class LibraDeployment(BaseDeployment):
+    """A runnable Libra system.
+
+    Parameters beyond the base:
+
+    window:
+        Randomization window in µs: trades arriving within the same
+        window are forwarded in uniformly random order at window close.
+    """
+
+    scheme_name = "libra"
+
+    def __init__(self, specs, window: float = 10.0, **kwargs) -> None:
+        super().__init__(specs, **kwargs)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._window_trades: List[TradeOrder] = []
+        self._arrivals: Dict[str, Dict[int, float]] = {}
+        self._shuffler = SubstreamCounter(self.seed, stream_id=78)
+        self.windows_closed = 0
+
+    def _build(self) -> None:
+        self.multicast = MulticastGroup()
+        self._arrivals = {mp_id: {} for mp_id in self.mp_ids}
+
+        for index, spec in enumerate(self.specs):
+            mp_id = self.mp_ids[index]
+            mp = self.participants[index]
+            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
+
+            def on_point(
+                point: MarketDataPoint,
+                send_time: float,
+                arrival_time: float,
+                mp=mp,
+                mp_id=mp_id,
+            ) -> None:
+                self._arrivals[mp_id][point.point_id] = arrival_time
+                mp.on_data((point,), arrival_time)
+
+            forward.connect(on_point)
+            if hasattr(forward, "loss_handler"):
+                forward.loss_handler = on_point
+            self.multicast.add_member(mp_id, forward)
+
+            reverse = self._make_link(
+                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+                direction="reverse",
+            )
+            reverse.connect(lambda order, s, a: self._window_trades.append(order))
+            if hasattr(reverse, "loss_handler"):
+                reverse.loss_handler = lambda order, s, a: self._window_trades.append(order)
+            self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
+
+        self.ces.set_distributor(self._publish_point)
+
+    def _publish_point(self, point: MarketDataPoint) -> None:
+        now = self.engine.now
+        self.network_send_times[point.point_id] = now
+        self.multicast.publish(point, send_time=now)
+
+    def _start(self, duration: float) -> None:
+        self.engine.schedule_at(self.window, self._close_window)
+
+    def _close_window(self) -> None:
+        now = self.engine.now
+        self.windows_closed += 1
+        if self._window_trades:
+            trades = self._window_trades
+            self._window_trades = []
+            order = sorted(range(len(trades)), key=lambda _: self._shuffler.next_unit())
+            for position in order:
+                self.ces.matching_engine.submit(trades[position], forward_time=now)
+        self.engine.schedule_after(self.window, self._close_window)
+
+    # ------------------------------------------------------------------
+    def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
+        return {mp_id: dict(points) for mp_id, points in self._arrivals.items()}
+
+    def _delivery_times(self) -> Dict[str, Dict[int, float]]:
+        return self._raw_arrivals()
+
+    def _counters(self) -> Dict[str, float]:
+        return {"windows_closed": float(self.windows_closed)}

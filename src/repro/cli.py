@@ -1,0 +1,329 @@
+"""Command-line interface: run schemes, compare them, regenerate figures.
+
+Examples
+--------
+Run DBO on the cloud scenario and print the digest::
+
+    python -m repro run --scheme dbo --scenario cloud --participants 10 \
+        --duration 50000
+
+Compare every scheme on one network::
+
+    python -m repro compare --scenario cloud --participants 6 --duration 30000
+
+Regenerate a paper table or figure::
+
+    python -m repro table 3
+    python -m repro figure 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.params import DBOParams
+from repro.exchange.feed import FeedConfig
+from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
+from repro.experiments.scenarios import (
+    baremetal_specs,
+    cloud_specs,
+    multizone_specs,
+    trace_specs,
+)
+from repro.experiments import figures as figures_mod
+from repro.experiments import tables as tables_mod
+from repro.metrics.serialization import save_run_result
+from repro.participants.response_time import RaceResponseTime, UniformResponseTime
+
+__all__ = ["main", "build_parser"]
+
+SCENARIOS: Dict[str, Callable[..., list]] = {
+    "cloud": cloud_specs,
+    "baremetal": baremetal_specs,
+    "trace": trace_specs,
+    "multizone": multizone_specs,
+}
+
+TABLES = {
+    "2": tables_mod.table2_baremetal,
+    "3": tables_mod.table3_cloud,
+    "4": tables_mod.table4_slow_responders,
+}
+
+FIGURES = {
+    "2": figures_mod.figure2_cloudex_spike,
+    "7": figures_mod.figure7_pacing_drain,
+    "10": figures_mod.figure10_latency_cdfs,
+    "11": figures_mod.figure11_network_trace,
+    "12": figures_mod.figure12_scaling,
+    "13": figures_mod.figure13_cloudex_vs_dbo,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DBO (SIGCOMM 2023) reproduction: fairness for cloud-hosted exchanges",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scheme and print its digest")
+    _add_common(run_p)
+    run_p.add_argument("--scheme", choices=sorted(SCHEMES), default="dbo")
+    run_p.add_argument("--save", metavar="PATH", help="save the RunResult as JSON")
+    _add_scheme_knobs(run_p)
+
+    cmp_p = sub.add_parser("compare", help="run several schemes on one network")
+    _add_common(cmp_p)
+    cmp_p.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=sorted(SCHEMES),
+        default=["direct", "dbo"],
+    )
+    _add_scheme_knobs(cmp_p)
+
+    table_p = sub.add_parser("table", help="regenerate a paper table")
+    table_p.add_argument("number", choices=sorted(TABLES))
+    table_p.add_argument("--duration", type=float, default=None, help="µs of market data")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", choices=sorted(FIGURES))
+    fig_p.add_argument("--duration", type=float, default=None, help="µs of market data")
+
+    sweep_p = sub.add_parser("sweep", help="sweep a DBO parameter (δ or τ)")
+    _add_common(sweep_p)
+    sweep_p.add_argument("--param", choices=["delta", "tau"], default="delta")
+    sweep_p.add_argument(
+        "--values", nargs="+", type=float, default=[10.0, 20.0, 45.0]
+    )
+
+    repro_p = sub.add_parser(
+        "reproduce", help="regenerate every paper table and figure into a directory"
+    )
+    repro_p.add_argument("--out", default="reproduction", help="output directory")
+    repro_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="scale run durations down ~10x (CI-friendly smoke reproduction)",
+    )
+
+    return parser
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", choices=sorted(SCENARIOS), default="cloud")
+    p.add_argument("--participants", type=int, default=10)
+    p.add_argument("--duration", type=float, default=50_000.0, help="µs of market data")
+    p.add_argument("--seed", type=int, default=12)
+    p.add_argument("--interval", type=float, default=40.0, help="data interval (µs)")
+    p.add_argument("--rt-low", type=float, default=5.0)
+    p.add_argument("--rt-high", type=float, default=20.0)
+    p.add_argument(
+        "--race-gap",
+        type=float,
+        default=None,
+        help="competing response margins (µs); omit for independent draws",
+    )
+
+
+def _add_scheme_knobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--delta", type=float, default=20.0, help="DBO horizon δ (µs)")
+    p.add_argument("--kappa", type=float, default=0.25, help="DBO batch factor κ")
+    p.add_argument("--tau", type=float, default=20.0, help="DBO heartbeat period τ (µs)")
+    p.add_argument("--straggler-threshold", type=float, default=None)
+    p.add_argument("--ob-shards", type=int, default=1)
+    p.add_argument("--sync-c1", type=float, default=None,
+                   help="enable §4.2.6 sync-assisted delivery with this target")
+    p.add_argument("--c1", type=float, default=50.0, help="CloudEx data threshold (µs)")
+    p.add_argument("--c2", type=float, default=50.0, help="CloudEx trade threshold (µs)")
+    p.add_argument("--batch-interval", type=float, default=100_000.0, help="FBA period (µs)")
+    p.add_argument("--window", type=float, default=10.0, help="Libra window (µs)")
+
+
+def _build_specs(args) -> list:
+    factory = SCENARIOS[args.scenario]
+    if args.scenario == "trace":
+        return factory(args.participants, seed=args.seed)
+    return factory(args.participants, seed=args.seed)
+
+
+def _build_rt_model(args):
+    if args.race_gap is not None:
+        return RaceResponseTime(
+            args.participants,
+            low=args.rt_low,
+            high=args.rt_high,
+            gap=args.race_gap,
+            seed=args.seed + 1,
+        )
+    return UniformResponseTime(low=args.rt_low, high=args.rt_high, seed=args.seed + 1)
+
+
+def _scheme_kwargs(scheme: str, args) -> dict:
+    if scheme == "dbo":
+        kwargs = dict(
+            params=DBOParams(
+                delta=args.delta,
+                kappa=args.kappa,
+                tau=args.tau,
+                straggler_threshold=args.straggler_threshold,
+            ),
+            n_ob_shards=args.ob_shards,
+        )
+        if args.sync_c1 is not None:
+            kwargs["sync_target_c1"] = args.sync_c1
+        return kwargs
+    if scheme == "cloudex":
+        return dict(c1=args.c1, c2=args.c2)
+    if scheme == "fba":
+        return dict(batch_interval=args.batch_interval)
+    if scheme == "libra":
+        return dict(window=args.window)
+    return {}
+
+
+def _run_one(scheme: str, args):
+    return run_scheme(
+        scheme,
+        _build_specs(args),
+        duration=args.duration,
+        feed_config=FeedConfig(interval=args.interval),
+        response_time_model=_build_rt_model(args),
+        seed=args.seed,
+        **_scheme_kwargs(scheme, args),
+    )
+
+
+def cmd_run(args) -> int:
+    result = _run_one(args.scheme, args)
+    summary = summarize(result, with_bound=(args.scheme == "dbo"))
+    print(comparison_table([summary], title=f"{args.scheme} on {args.scenario} "
+                                            f"({args.participants} MPs, {args.duration:.0f} µs)"))
+    print()
+    print(f"fairness: {summary.fairness}")
+    print(f"completion: {100 * summary.completion:.2f} %")
+    if summary.counters:
+        interesting = {k: v for k, v in sorted(summary.counters.items())}
+        print(f"counters: {interesting}")
+    if args.save:
+        save_run_result(result, args.save)
+        print(f"saved run result to {args.save}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    summaries = []
+    for scheme in args.schemes:
+        result = _run_one(scheme, args)
+        summaries.append(summarize(result, with_bound=(scheme == "dbo")))
+    print(
+        comparison_table(
+            summaries,
+            title=f"{', '.join(args.schemes)} on {args.scenario} "
+                  f"({args.participants} MPs)",
+        )
+    )
+    return 0
+
+
+def cmd_table(args) -> int:
+    fn = TABLES[args.number]
+    result = fn(duration=args.duration) if args.duration else fn()
+    print(result.text)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweep import sweep, sweep_table
+
+    def params_for(value: float) -> DBOParams:
+        if args.param == "delta":
+            return DBOParams(delta=value)
+        return DBOParams(tau=value)
+
+    rows = sweep(
+        scheme="dbo",
+        specs_factory=lambda: _build_specs(args),
+        duration=args.duration,
+        grid={"params": [params_for(v) for v in args.values]},
+        feed_config=FeedConfig(interval=args.interval),
+        response_time_model=_build_rt_model(args),
+        seed=args.seed,
+    )
+    # Show the swept value, not the whole params repr.
+    for row, value in zip(rows, args.values):
+        row.config = {args.param: value}
+    print(
+        sweep_table(
+            rows,
+            title=f"DBO {args.param} sweep on {args.scenario} "
+                  f"({args.participants} MPs)",
+        )
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fn = FIGURES[args.number]
+    if args.duration and args.number != "11":
+        result = fn(duration=args.duration)
+    else:
+        result = fn()
+    print(result.text)
+    return 0
+
+
+# Default and --quick durations (µs) per artifact for `reproduce`.
+_REPRODUCE_PLAN = [
+    ("table2", TABLES["2"], 100_000.0, 10_000.0),
+    ("table3", TABLES["3"], 100_000.0, 10_000.0),
+    ("table4", TABLES["4"], 60_000.0, 8_000.0),
+    ("figure2", FIGURES["2"], 40_000.0, 25_000.0),
+    ("figure7", FIGURES["7"], 60_000.0, 40_000.0),
+    ("figure10", FIGURES["10"], 100_000.0, 15_000.0),
+    ("figure11", FIGURES["11"], None, None),
+    ("figure12", FIGURES["12"], 8_000.0, 3_000.0),
+    ("figure13", FIGURES["13"], 15_000.0, 6_000.0),
+]
+
+
+def cmd_reproduce(args) -> int:
+    import os
+
+    os.makedirs(args.out, exist_ok=True)
+    for name, fn, duration, quick_duration in _REPRODUCE_PLAN:
+        chosen = quick_duration if args.quick else duration
+        result = fn() if chosen is None else fn(duration=chosen)
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(result.text + "\n")
+            if hasattr(result, "render_ascii"):
+                try:
+                    handle.write("\n" + result.render_ascii() + "\n")
+                except ValueError:
+                    pass
+        print(f"[reproduce] wrote {path}")
+    print(f"[reproduce] done — compare against EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "table": cmd_table,
+        "figure": cmd_figure,
+        "sweep": cmd_sweep,
+        "reproduce": cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

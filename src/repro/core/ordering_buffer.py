@@ -1,0 +1,293 @@
+"""The Ordering Buffer (OB) — §4.1.3, §4.2.1, §5.2.
+
+The OB sits in front of the matching engine (part of the trusted CES
+platform) and enforces the delivery-clock ordering:
+
+* every incoming tagged trade enters a priority queue keyed by its
+  delivery-clock stamp;
+* a trade may be forwarded only once the OB has *proof* that no trade
+  with a smaller stamp is still in flight — the proof is a heartbeat (or
+  later trade, which is just as good under in-order delivery) from every
+  participant with a stamp at or above the trade's stamp;
+* trades are forwarded in stamp order; ties break deterministically on
+  ``(mp_id, trade_seq)``.
+
+Straggler mitigation (§4.2.1): the OB estimates each participant's
+round-trip lag from heartbeat content (``G(ld) + elapsed``) versus the
+heartbeat's arrival time.  A participant whose lag exceeds the threshold
+— or that has gone silent for that long — is excluded from the release
+rule until it recovers, trading that participant's fairness for everyone
+else's latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.exchange.messages import Heartbeat, TaggedTrade
+
+__all__ = ["OrderingBuffer", "ParticipantState"]
+
+# Sink receiving released trades in their final order:
+# (tagged_trade, forward_time).
+ReleaseSink = Callable[[TaggedTrade, float], None]
+
+
+@dataclass
+class ParticipantState:
+    """The OB's per-participant progress view."""
+
+    mp_id: str
+    watermark: Optional[DeliveryClockStamp] = None
+    last_heartbeat_arrival: Optional[float] = None
+    last_lag_estimate: Optional[float] = None
+    is_straggler: bool = False
+
+
+class OrderingBuffer:
+    """Priority-queue ordering with heartbeat-based release (§4.1.3).
+
+    Parameters
+    ----------
+    participants:
+        All participant ids; the release rule waits on each of them.
+    sink:
+        Receives released trades in final order.
+    generation_time_of:
+        Maps a point id to its generation time ``G(x)``; the OB is part of
+        the CES so it has this locally.  Needed only for straggler lag
+        estimation; optional otherwise.
+    straggler_threshold:
+        Lag (µs) beyond which a participant stops being waited for;
+        ``None`` disables mitigation (the paper's default guarantees
+        fairness at the cost of latency under stragglers).
+    """
+
+    def __init__(
+        self,
+        participants: List[str],
+        sink: Optional[ReleaseSink] = None,
+        generation_time_of: Optional[Callable[[int], float]] = None,
+        straggler_threshold: Optional[float] = None,
+        latest_point_id: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if not participants:
+            raise ValueError("ordering buffer needs at least one participant")
+        if len(set(participants)) != len(participants):
+            raise ValueError("duplicate participant ids")
+        self.sink = sink
+        self.generation_time_of = generation_time_of
+        self.straggler_threshold = straggler_threshold
+        # Latest point id the CES has generated (the OB is colocated with
+        # the CES).  Lets the lag estimate catch *starvation*: a
+        # participant whose delivery frontier is far behind generation.
+        self.latest_point_id = latest_point_id
+        self.states: Dict[str, ParticipantState] = {
+            mp_id: ParticipantState(mp_id) for mp_id in participants
+        }
+        # Heap entries: (stamp tuple, mp_id, trade_seq, TaggedTrade).
+        self._heap: List[Tuple[Tuple[int, float], str, int, TaggedTrade]] = []
+        self._released: Set[Tuple[str, int]] = set()
+        self.trades_received = 0
+        self.trades_released = 0
+        self.heartbeats_processed = 0
+        self.max_queue_depth = 0
+        self.trades_lost_to_crash = 0
+
+    # ------------------------------------------------------------------
+    def set_sink(self, sink: ReleaseSink) -> None:
+        self.sink = sink
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._heap)
+
+    def straggler_ids(self) -> List[str]:
+        """Participants currently excluded from the release rule."""
+        return [s.mp_id for s in self.states.values() if s.is_straggler]
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def on_tagged_trade(self, tagged: TaggedTrade, send_time: float, arrival_time: float) -> None:
+        """Network handler for an arriving tagged trade."""
+        mp_id = tagged.trade.mp_id
+        if mp_id not in self.states:
+            raise KeyError(f"trade from unknown participant {mp_id!r}")
+        self.trades_received += 1
+        stamp: DeliveryClockStamp = tagged.clock
+        heapq.heappush(
+            self._heap,
+            (stamp.as_tuple(), mp_id, tagged.trade.trade_seq, tagged),
+        )
+        self.max_queue_depth = max(self.max_queue_depth, len(self._heap))
+        # In-order delivery: a trade with stamp s proves everything from
+        # this participant below s has been received — same as a heartbeat.
+        self._advance_watermark(mp_id, stamp)
+        self._try_release(arrival_time)
+
+    def on_heartbeat(self, heartbeat: Heartbeat, send_time: float, arrival_time: float) -> None:
+        """Network handler for an arriving heartbeat."""
+        state = self.states.get(heartbeat.mp_id)
+        if state is None:
+            raise KeyError(f"heartbeat from unknown participant {heartbeat.mp_id!r}")
+        self.heartbeats_processed += 1
+        state.last_heartbeat_arrival = arrival_time
+        stamp: Optional[DeliveryClockStamp] = heartbeat.clock
+        if stamp is not None:
+            self._advance_watermark(heartbeat.mp_id, stamp)
+            self._update_straggler_state(state, stamp, arrival_time)
+        self._try_release(arrival_time)
+
+    # ------------------------------------------------------------------
+    # Straggler tracking (§4.2.1)
+    # ------------------------------------------------------------------
+    def _update_straggler_state(
+        self,
+        state: ParticipantState,
+        stamp: DeliveryClockStamp,
+        arrival_time: float,
+    ) -> None:
+        if self.straggler_threshold is None or self.generation_time_of is None:
+            return
+        generation = self.generation_time_of(stamp.last_point_id)
+        # Heartbeat generated `elapsed` after the delivery of point ld; it
+        # arrived now. Lag = full loop time from generation to arrival,
+        # minus the participant's own dwell time.
+        lag = arrival_time - generation - stamp.elapsed
+        if self.latest_point_id is not None:
+            latest = self.latest_point_id()
+            if latest > stamp.last_point_id:
+                # The next point this participant is owed has been
+                # outstanding since its generation: starvation counts as
+                # lag even while old-data heartbeats look healthy.
+                outstanding = arrival_time - self.generation_time_of(
+                    stamp.last_point_id + 1
+                )
+                lag = max(lag, outstanding)
+        state.last_lag_estimate = lag
+        state.is_straggler = lag > self.straggler_threshold
+
+    def _check_silent_stragglers(self, now: float) -> None:
+        if self.straggler_threshold is None:
+            return
+        for state in self.states.values():
+            if state.last_heartbeat_arrival is None:
+                continue
+            if now - state.last_heartbeat_arrival > self.straggler_threshold:
+                state.is_straggler = True
+
+    # ------------------------------------------------------------------
+    # Release rule
+    # ------------------------------------------------------------------
+    def _advance_watermark(self, mp_id: str, stamp: DeliveryClockStamp) -> None:
+        state = self.states[mp_id]
+        if state.watermark is None or stamp > state.watermark:
+            state.watermark = stamp
+
+    _TOP = DeliveryClockStamp(2**62, float("inf"))
+
+    def _watermark_extremes(
+        self, now: float
+    ) -> Tuple[Optional[DeliveryClockStamp], Optional[str], Optional[DeliveryClockStamp]]:
+        """Lowest and second-lowest watermarks over non-straggler MPs.
+
+        Returns ``(min_watermark, min_mp_id, second_min_watermark)``.
+        A ``None`` min means some waited-on participant has not reported
+        yet; when every participant is a straggler both minima degrade to
+        a +∞ sentinel (release everything — pure FCFS degradation beats
+        stalling the market).
+        """
+        self._check_silent_stragglers(now)
+        min1: Optional[DeliveryClockStamp] = None
+        min1_mp: Optional[str] = None
+        min2: Optional[DeliveryClockStamp] = None
+        any_waited = False
+        for state in self.states.values():
+            if state.is_straggler:
+                continue
+            any_waited = True
+            if state.watermark is None:
+                return None, None, None
+            if min1 is None or state.watermark < min1:
+                min2 = min1
+                min1 = state.watermark
+                min1_mp = state.mp_id
+            elif min2 is None or state.watermark < min2:
+                min2 = state.watermark
+        if not any_waited:
+            return self._TOP, None, self._TOP
+        if min2 is None:
+            # Single waited-on participant: for its own trades there is
+            # nobody else to wait for.
+            min2 = self._TOP
+        return min1, min1_mp, min2
+
+    def _try_release(self, now: float) -> None:
+        """Release every head trade proven safe by the watermarks.
+
+        A trade from participant ``m`` needs every *other* participant's
+        watermark strictly past its stamp; ``m``'s own progress is proven
+        by the trade itself (in-order delivery: nothing earlier from ``m``
+        can still be in flight).
+        """
+        min1, min1_mp, min2 = self._watermark_extremes(now)
+        if min1 is None:
+            return
+        while self._heap:
+            stamp_tuple, mp_id, _, _ = self._heap[0]
+            bound = min2 if mp_id == min1_mp else min1
+            if stamp_tuple >= bound.as_tuple():
+                break
+            _, _, _, tagged = heapq.heappop(self._heap)
+            key = tagged.trade.key
+            if key in self._released:
+                raise RuntimeError(f"trade {key} queued twice in the OB")
+            self._released.add(key)
+            self.trades_released += 1
+            if self.sink is not None:
+                self.sink(tagged, now)
+
+    def crash(self) -> int:
+        """Fail-stop the OB, losing every queued trade (§4.2.1).
+
+        "In the event the OB crashes all trades in the priority queue
+        will be lost.  System will incur unfairness in such cases."  A
+        replacement OB starts from empty state: watermarks are rebuilt
+        from subsequent heartbeats (which carry absolute delivery-clock
+        readings, so recovery is immediate on the next heartbeat round).
+
+        Returns the number of trades lost.
+        """
+        lost = len(self._heap)
+        self._heap.clear()
+        for state in self.states.values():
+            state.watermark = None
+            state.last_heartbeat_arrival = None
+            state.last_lag_estimate = None
+            state.is_straggler = False
+        self.trades_lost_to_crash += lost
+        return lost
+
+    def flush(self, now: float) -> int:
+        """Release every queued trade regardless of watermarks.
+
+        Used at the end of a run to drain trades that are provably final
+        (no more data will be generated) and by OB-failure experiments.
+        Returns the number of trades flushed.
+        """
+        flushed = 0
+        while self._heap:
+            _, _, _, tagged = heapq.heappop(self._heap)
+            key = tagged.trade.key
+            if key in self._released:
+                continue
+            self._released.add(key)
+            self.trades_released += 1
+            flushed += 1
+            if self.sink is not None:
+                self.sink(tagged, now)
+        return flushed

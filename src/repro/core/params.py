@@ -1,0 +1,83 @@
+"""DBO configuration parameters and their paper defaults.
+
+The three knobs (§4.2.1):
+
+``delta`` (δ)
+    The fairness horizon: DBO guarantees LRTF for trades whose response
+    time is below δ.  Also the minimum inter-batch delivery gap enforced
+    by release-buffer pacing.  Larger δ ⇒ wider guarantee, more latency.
+    Paper default for cloud experiments: 20 µs.
+
+``kappa`` (κ)
+    Batch-span multiplier: the CES closes a batch every ``(1 + κ)·δ``.
+    Because batches are *generated* every ``(1+κ)·δ`` but may be
+    *delivered* as fast as one per δ, a release-buffer queue built up by a
+    latency spike drains at rate ``1 + κ`` (slope κ/(1+κ) in Figure 7).
+    Larger κ ⇒ faster drain after spikes, more batching delay.
+    Paper default: 0.25.
+
+``tau`` (τ)
+    Heartbeat period.  The ordering buffer can wait up to τ extra before
+    it can prove no lower-ordered trade is in flight.  Paper default:
+    20 µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DBOParams"]
+
+
+@dataclass(frozen=True)
+class DBOParams:
+    """Parameters of a DBO deployment (all times in microseconds)."""
+
+    delta: float = 20.0
+    kappa: float = 0.25
+    tau: float = 20.0
+    # Straggler mitigation (§4.2.1): the OB stops waiting for a
+    # participant whose observed round-trip lag exceeds this threshold,
+    # and resumes once it recovers.  ``None`` disables mitigation.
+    straggler_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.kappa <= 0:
+            raise ValueError("kappa must be positive (batch rate must be "
+                             "slower than the pacing dequeue rate)")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.straggler_threshold is not None and self.straggler_threshold <= 0:
+            raise ValueError("straggler_threshold must be positive when set")
+
+    @property
+    def batch_span(self) -> float:
+        """Batch generation period ``(1 + κ)·δ`` (µs)."""
+        return (1.0 + self.kappa) * self.delta
+
+    @property
+    def pacing_gap(self) -> float:
+        """Minimum inter-batch delivery gap at the RB: δ (µs)."""
+        return self.delta
+
+    @property
+    def drain_rate(self) -> float:
+        """Queue drain rate after a spike: batch_span / pacing_gap = 1 + κ."""
+        return 1.0 + self.kappa
+
+    @property
+    def worst_case_added_latency(self) -> float:
+        """§4.2.1: at most ``(1 + κ)·δ + τ`` over the latency bound when
+        the network is well behaved."""
+        return self.batch_span + self.tau
+
+    def with_horizon(self, delta: float, batch_span: float | None = None) -> "DBOParams":
+        """A copy with a new horizon; the paper's DBO(x, y) notation sets
+        δ = x and batch span (1+κ)δ = y."""
+        if batch_span is None:
+            return replace(self, delta=delta)
+        if batch_span <= delta:
+            raise ValueError("batch_span must exceed delta (kappa > 0)")
+        return replace(self, delta=delta, kappa=batch_span / delta - 1.0)

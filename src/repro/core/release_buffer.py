@@ -1,0 +1,270 @@
+"""The Release Buffer (RB) — §4.1.2, §5.1.
+
+One RB is colocated with each market participant (at the provider's
+smartNIC in the paper's deployment; a trusted component either way).  It
+has four jobs:
+
+1. **Batch delivery with pacing** — deliver each market-data batch to the
+   MP atomically, enforcing a locally measured gap of at least δ between
+   consecutive deliveries.  Batches queue FIFO when they arrive faster
+   than 1/δ (e.g. while a latency spike drains), and the queue drains at
+   rate ``1 + κ`` because batches are generated only every ``(1+κ)·δ``.
+2. **Delivery clock maintenance** — advance ``⟨ld, elapsed⟩`` on each
+   batch delivery (to the batch's last point id).
+3. **Trade tagging** — stamp each trade from the MP with the current
+   delivery-clock reading and forward it to the ordering buffer.
+4. **Heartbeats** — every τ, send the current reading to the OB so it can
+   prove no lower-ordered trade is in flight.
+
+The RB also supports a non-colocated mode (§4.2.3 / Theorem 4) where an
+extra RB↔MP latency model delays both data delivery to the MP and trade
+interception at the RB.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
+from repro.exchange.messages import Heartbeat, MarketDataBatch, MarketDataPoint, TaggedTrade, TradeOrder
+from repro.net.latency import LatencyModel
+from repro.sim.clocks import Clock, PerfectClock
+from repro.sim.engine import EventEngine
+
+__all__ = ["ReleaseBuffer"]
+
+# Handler invoked when a batch is delivered to the MP:
+# (points, delivery_time_at_mp).
+MPDeliveryHandler = Callable[[Tuple[MarketDataPoint, ...], float], None]
+# Sink receiving tagged trades / heartbeats (the reverse link's send).
+TradeSink = Callable[[TaggedTrade], None]
+HeartbeatSink = Callable[[Heartbeat], None]
+
+
+class ReleaseBuffer:
+    """Trusted per-participant component implementing pacing and tagging.
+
+    Parameters
+    ----------
+    engine:
+        Event engine.
+    mp_id:
+        The participant this RB serves.
+    pacing_gap:
+        δ — minimum locally-measured gap between batch deliveries.
+    heartbeat_period:
+        τ — heartbeat cadence.
+    local_clock:
+        The RB's local clock (only intervals are used).
+    rb_to_mp:
+        Optional latency model for the RB→MP leg (non-colocated mode);
+        colocated RBs (the default) deliver with zero delay.
+    piggyback_suppression:
+        §4.2.1 notes that "too frequent heartbeats can overwhelm the
+        network [or] the ordering buffer".  Since every tagged trade is
+        itself a progress proof, an actively trading participant's
+        heartbeats are largely redundant: with this flag the RB skips a
+        heartbeat when a trade left within the last period.  Saves
+        reverse-path messages at a bounded (≤ τ) extra wait for trades
+        queued just above this participant's last stamp.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        mp_id: str,
+        pacing_gap: float,
+        heartbeat_period: float,
+        local_clock: Optional[Clock] = None,
+        rb_to_mp: Optional[LatencyModel] = None,
+        piggyback_suppression: bool = False,
+    ) -> None:
+        if pacing_gap <= 0:
+            raise ValueError("pacing_gap (delta) must be positive")
+        if heartbeat_period <= 0:
+            raise ValueError("heartbeat_period (tau) must be positive")
+        self.engine = engine
+        self.mp_id = mp_id
+        self.pacing_gap = float(pacing_gap)
+        self.heartbeat_period = float(heartbeat_period)
+        self.local_clock = local_clock if local_clock is not None else PerfectClock()
+        self.rb_to_mp = rb_to_mp
+        self.clock = DeliveryClock(self.local_clock)
+
+        self._mp_handler: Optional[MPDeliveryHandler] = None
+        self._trade_sink: Optional[TradeSink] = None
+        self._heartbeat_sink: Optional[HeartbeatSink] = None
+
+        self._queue: Deque[MarketDataBatch] = deque()
+        self._delivery_scheduled = False
+        self._last_delivery_true: Optional[float] = None
+        self._heartbeats_started = False
+        self.crashed = False
+
+        # ----- measurement records (ground truth for metrics) ----------
+        # D(i, x): per-point delivery time at the RB boundary.
+        self.delivery_times: Dict[int, float] = {}
+        # Raw batch arrival times (before pacing): for Max-RTT accounting.
+        self.batch_arrivals: List[Tuple[MarketDataBatch, float]] = []
+        self.max_queue_depth = 0
+        # Points that reached the MP via out-of-band recovery (App. D):
+        # they never advanced the delivery clock.
+        self.recovered_point_ids: set = set()
+        self.piggyback_suppression = piggyback_suppression
+        self._last_trade_sent_at: Optional[float] = None
+        self.heartbeats_sent = 0
+        self.heartbeats_suppressed = 0
+        self.trades_tagged = 0
+        self.trades_dropped_untagged = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_mp(self, handler: MPDeliveryHandler) -> None:
+        """Attach the participant's data-delivery handler."""
+        self._mp_handler = handler
+
+    def connect_ob(self, trade_sink: TradeSink, heartbeat_sink: HeartbeatSink) -> None:
+        """Attach the reverse-path sinks toward the ordering buffer."""
+        self._trade_sink = trade_sink
+        self._heartbeat_sink = heartbeat_sink
+
+    # ------------------------------------------------------------------
+    # Forward path: batches in, paced deliveries out
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop this RB (§4.2.1's RB/MP failure scenario).
+
+        Heartbeats cease, arriving batches are dropped, trades are no
+        longer tagged.  The OB's silent-straggler detection notices the
+        missing heartbeats and stops waiting for this participant, so the
+        rest of the market keeps its latency; this participant's pending
+        trades bear the unfairness — exactly the paper's stated behaviour.
+        """
+        self.crashed = True
+
+    def on_batch(self, batch: MarketDataBatch, send_time: float, arrival_time: float) -> None:
+        """Network handler for an arriving market-data batch."""
+        if self.crashed:
+            return
+        self.batch_arrivals.append((batch, arrival_time))
+        self._queue.append(batch)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._schedule_delivery()
+
+    def on_recovered_batch(self, batch: MarketDataBatch, send_time: float, arrival_time: float) -> None:
+        """Out-of-band recovery of a lost batch (Appendix D).
+
+        The recovered data is handed to the MP immediately but does *not*
+        advance the delivery clock and does not count as a paced delivery
+        — only trades triggered by it lose fairness.
+        """
+        self.batch_arrivals.append((batch, arrival_time))
+        for point in batch.points:
+            # Delivery time still recorded for latency accounting.
+            self.delivery_times.setdefault(point.point_id, arrival_time)
+            self.recovered_point_ids.add(point.point_id)
+        if self._mp_handler is not None:
+            self._deliver_to_mp(batch.points, arrival_time)
+
+    def _earliest_delivery_time(self) -> float:
+        """Next true time a delivery is allowed by pacing."""
+        if self._last_delivery_true is None:
+            return self.engine.now
+        gap_true = self.local_clock.interval_to_true(self.pacing_gap)
+        return max(self.engine.now, self._last_delivery_true + gap_true)
+
+    def _schedule_delivery(self) -> None:
+        if self._delivery_scheduled or not self._queue:
+            return
+        self._delivery_scheduled = True
+        when = self._earliest_delivery_time()
+        self.engine.schedule_at(when, self._deliver_head, priority=2)
+
+    def _deliver_head(self) -> None:
+        self._delivery_scheduled = False
+        if not self._queue:
+            return
+        now = self.engine.now
+        batch = self._queue.popleft()
+        self._last_delivery_true = now
+        for point in batch.points:
+            self.delivery_times[point.point_id] = now
+        self.clock.on_delivery(batch.last_point_id, now)
+        self._deliver_to_mp(batch.points, now)
+        self._schedule_delivery()
+
+    def _deliver_to_mp(self, points: Tuple[MarketDataPoint, ...], rb_time: float) -> None:
+        if self._mp_handler is None:
+            return
+        if self.rb_to_mp is None:
+            self._mp_handler(points, rb_time)
+            return
+        mp_time = rb_time + self.rb_to_mp.latency_at(rb_time)
+
+        def deliver(points=points, mp_time=mp_time) -> None:
+            self._mp_handler(points, mp_time)
+
+        self.engine.schedule_at(mp_time, deliver, priority=0)
+
+    # ------------------------------------------------------------------
+    # Reverse path: trades in from the MP, tagged trades out to the OB
+    # ------------------------------------------------------------------
+    def on_mp_trade(self, trade: TradeOrder) -> None:
+        """Intercept a trade from the MP, tag it, forward it to the OB.
+
+        Called at the true time the trade reaches the RB (for a
+        non-colocated MP the caller — the MP adapter — routes the trade
+        through the MP→RB latency first).
+        """
+        if self._trade_sink is None:
+            raise RuntimeError(f"RB {self.mp_id!r} has no trade sink")
+        if self.crashed:
+            self.trades_dropped_untagged += 1
+            return
+        if not self.clock.started:
+            # Only reachable when the very first batch was lost and the MP
+            # traded off the recovered copy: the RB cannot produce a
+            # meaningful tag yet, so the trade is rejected (the MP would
+            # resubmit).  Appendix D: such trades bear the unfairness.
+            self.trades_dropped_untagged += 1
+            return
+        now = self.engine.now
+        stamp = self.clock.read(now)
+        self.trades_tagged += 1
+        self._last_trade_sent_at = now
+        self._trade_sink(TaggedTrade(trade=trade, clock=stamp, tagged_at=now))
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def start_heartbeats(self, start_time: Optional[float] = None) -> None:
+        """Begin the τ-periodic heartbeat stream to the OB."""
+        if self._heartbeat_sink is None:
+            raise RuntimeError(f"RB {self.mp_id!r} has no heartbeat sink")
+        if self._heartbeats_started:
+            raise RuntimeError("heartbeats already started")
+        self._heartbeats_started = True
+        first = self.engine.now if start_time is None else start_time
+        self.engine.schedule_at(first, self._heartbeat, priority=3)
+
+    def _heartbeat(self) -> None:
+        if self.crashed:
+            return
+        now = self.engine.now
+        if (
+            self.piggyback_suppression
+            and self._last_trade_sent_at is not None
+            and now - self._last_trade_sent_at < self.heartbeat_period
+        ):
+            # A recent trade already proved this participant's progress.
+            self.heartbeats_suppressed += 1
+        else:
+            stamp: Optional[DeliveryClockStamp]
+            stamp = self.clock.read(now) if self.clock.started else None
+            self.heartbeats_sent += 1
+            self._heartbeat_sink(
+                Heartbeat(mp_id=self.mp_id, clock=stamp, generated_at=now)
+            )
+        self.engine.schedule_after(self.heartbeat_period, self._heartbeat, priority=3)

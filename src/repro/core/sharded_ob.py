@@ -1,0 +1,262 @@
+"""Sharded / hierarchical ordering buffer (§5.2).
+
+With many participants a single OB becomes a bottleneck: heartbeat volume
+grows linearly with the number of MPs.  The paper's remedy is a two-level
+hierarchy:
+
+* each **shard OB** is responsible for a subset of the release buffers —
+  it absorbs their heartbeats and trades, maintains the minimum delivery
+  clock across *its* subset, and forwards to the master (a) trades that
+  are safe with respect to its own subset, in stamp order, and (b) a
+  summary heartbeat carrying its subset-minimum watermark;
+* the **master OB**, colocated with the matching engine, maintains the
+  minimum over shard watermarks and performs the final merge, releasing a
+  trade once every shard's watermark has passed it.
+
+The hierarchy filters heartbeats: the master processes one summary per
+shard per update instead of one per participant, which is the scaling
+claim the ablation benchmark (`benchmarks/test_ablation_sharded_ob.py`)
+quantifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.ordering_buffer import OrderingBuffer, ReleaseSink
+from repro.exchange.messages import Heartbeat, TaggedTrade
+
+__all__ = ["ShardOB", "MasterOB", "build_sharded_ob"]
+
+
+class MasterOB:
+    """Final-merge OB: one logical "participant" per shard."""
+
+    def __init__(self, shard_ids: Sequence[str], sink: Optional[ReleaseSink] = None) -> None:
+        if not shard_ids:
+            raise ValueError("master OB needs at least one shard")
+        self.sink = sink
+        self._watermarks: Dict[str, Optional[DeliveryClockStamp]] = {
+            shard_id: None for shard_id in shard_ids
+        }
+        # Entries: (stamp tuple, shard_id, mp_id, trade_seq, TaggedTrade).
+        self._heap: List[Tuple[Tuple[int, float], str, str, int, TaggedTrade]] = []
+        self.trades_released = 0
+        self.summaries_processed = 0
+
+    def set_sink(self, sink: ReleaseSink) -> None:
+        self.sink = sink
+
+    def on_shard_trade(self, shard_id: str, tagged: TaggedTrade, now: float) -> None:
+        """A trade the shard deemed safe w.r.t. its own subset.
+
+        Shards emit trades in stamp order over an in-order channel, so a
+        forwarded trade is itself proof of its shard's progress: the
+        shard's watermark is advanced to the trade's stamp.
+        """
+        if shard_id not in self._watermarks:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        stamp: DeliveryClockStamp = tagged.clock
+        current = self._watermarks[shard_id]
+        if current is None or stamp > current:
+            self._watermarks[shard_id] = stamp
+        heapq.heappush(
+            self._heap,
+            (stamp.as_tuple(), shard_id, tagged.trade.mp_id, tagged.trade.trade_seq, tagged),
+        )
+        self._try_release(now)
+
+    def on_shard_summary(self, shard_id: str, watermark: Optional[DeliveryClockStamp], now: float) -> None:
+        """A shard's summary heartbeat: the min watermark of its subset."""
+        if shard_id not in self._watermarks:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        self.summaries_processed += 1
+        current = self._watermarks[shard_id]
+        if watermark is not None and (current is None or watermark > current):
+            self._watermarks[shard_id] = watermark
+        self._try_release(now)
+
+    def _watermark_extremes(self):
+        """Lowest and second-lowest shard watermarks (see OrderingBuffer)."""
+        min1: Optional[DeliveryClockStamp] = None
+        min1_shard: Optional[str] = None
+        min2: Optional[DeliveryClockStamp] = None
+        for shard_id, watermark in self._watermarks.items():
+            if watermark is None:
+                return None, None, None
+            if min1 is None or watermark < min1:
+                min2 = min1
+                min1 = watermark
+                min1_shard = shard_id
+            elif min2 is None or watermark < min2:
+                min2 = watermark
+        if min2 is None:
+            min2 = DeliveryClockStamp(2**62, float("inf"))
+        return min1, min1_shard, min2
+
+    def _try_release(self, now: float) -> None:
+        min1, min1_shard, min2 = self._watermark_extremes()
+        if min1 is None:
+            return
+        while self._heap:
+            stamp_tuple, shard_id, _, _, _ = self._heap[0]
+            bound = min2 if shard_id == min1_shard else min1
+            if stamp_tuple >= bound.as_tuple():
+                break
+            _, _, _, _, tagged = heapq.heappop(self._heap)
+            self.trades_released += 1
+            if self.sink is not None:
+                self.sink(tagged, now)
+
+    def flush(self, now: float) -> int:
+        """Release every queued trade in stamp order (end-of-run drain)."""
+        flushed = 0
+        while self._heap:
+            _, _, _, _, tagged = heapq.heappop(self._heap)
+            self.trades_released += 1
+            flushed += 1
+            if self.sink is not None:
+                self.sink(tagged, now)
+        return flushed
+
+
+class ShardOB:
+    """One shard of the hierarchical OB, serving a subset of participants.
+
+    Internally reuses :class:`OrderingBuffer` for the subset-safety logic;
+    trades it releases are safe with respect to the shard's participants
+    and flow upward to the master, together with summary heartbeats.
+
+    Parameters
+    ----------
+    shard_id:
+        Unique shard name.
+    participants:
+        The subset of participant ids this shard owns.
+    master:
+        The master OB receiving safe trades and summaries.
+    engine / hop_latency:
+        When both are given, the shard→master hop travels over a real
+        FIFO link with that latency — the §5.2 "standalone VM" shard
+        deployment.  Trades and summaries share the link, preserving the
+        in-order property the master's release rule depends on.  Omitted
+        (threads on one host), the hop is a direct call.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        participants: Sequence[str],
+        master: MasterOB,
+        generation_time_of: Optional[Callable[[int], float]] = None,
+        straggler_threshold: Optional[float] = None,
+        latest_point_id: Optional[Callable[[], int]] = None,
+        engine=None,
+        hop_latency=None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.master = master
+        self._inner = OrderingBuffer(
+            participants=list(participants),
+            sink=self._forward_to_master,
+            generation_time_of=generation_time_of,
+            straggler_threshold=straggler_threshold,
+            latest_point_id=latest_point_id,
+        )
+        self.heartbeats_processed = 0
+        self._hop_link = None
+        if hop_latency is not None:
+            if engine is None:
+                raise ValueError("a hop_latency needs an engine")
+            from repro.net.link import Link
+
+            self._hop_link = Link(
+                engine,
+                hop_latency,
+                handler=self._on_hop_arrival,
+                name=f"{shard_id}->master",
+            )
+
+    def _on_hop_arrival(self, message, send_time: float, arrival_time: float) -> None:
+        kind, payload = message
+        if kind == "trade":
+            self.master.on_shard_trade(self.shard_id, payload, arrival_time)
+        else:
+            self.master.on_shard_summary(self.shard_id, payload, arrival_time)
+
+    # ------------------------------------------------------------------
+    def on_tagged_trade(self, tagged: TaggedTrade, send_time: float, arrival_time: float) -> None:
+        self._inner.on_tagged_trade(tagged, send_time, arrival_time)
+        self._publish_summary(arrival_time)
+
+    def on_heartbeat(self, heartbeat: Heartbeat, send_time: float, arrival_time: float) -> None:
+        self.heartbeats_processed += 1
+        self._inner.on_heartbeat(heartbeat, send_time, arrival_time)
+        self._publish_summary(arrival_time)
+
+    # ------------------------------------------------------------------
+    def _subset_watermark(self) -> Optional[DeliveryClockStamp]:
+        minimum: Optional[DeliveryClockStamp] = None
+        for state in self._inner.states.values():
+            if state.watermark is None:
+                return None
+            if minimum is None or state.watermark < minimum:
+                minimum = state.watermark
+        return minimum
+
+    def _publish_summary(self, now: float) -> None:
+        watermark = self._subset_watermark()
+        if self._hop_link is not None:
+            self._hop_link.send(("summary", watermark))
+        else:
+            self.master.on_shard_summary(self.shard_id, watermark, now)
+
+    def _forward_to_master(self, tagged: TaggedTrade, now: float) -> None:
+        if self._hop_link is not None:
+            self._hop_link.send(("trade", tagged))
+        else:
+            self.master.on_shard_trade(self.shard_id, tagged, now)
+
+
+def build_sharded_ob(
+    participants: Sequence[str],
+    n_shards: int,
+    sink: Optional[ReleaseSink] = None,
+    generation_time_of: Optional[Callable[[int], float]] = None,
+    straggler_threshold: Optional[float] = None,
+    latest_point_id: Optional[Callable[[], int]] = None,
+    engine=None,
+    hop_latency=None,
+) -> Tuple[MasterOB, List[ShardOB], Dict[str, ShardOB]]:
+    """Partition participants round-robin across ``n_shards`` shards.
+
+    Returns ``(master, shards, participant→shard routing table)``.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if n_shards > len(participants):
+        raise ValueError("more shards than participants")
+    shard_ids = [f"shard-{index}" for index in range(n_shards)]
+    master = MasterOB(shard_ids, sink=sink)
+    assignments: List[List[str]] = [[] for _ in range(n_shards)]
+    for index, mp_id in enumerate(participants):
+        assignments[index % n_shards].append(mp_id)
+    shards = [
+        ShardOB(
+            shard_ids[index],
+            assignments[index],
+            master,
+            generation_time_of=generation_time_of,
+            straggler_threshold=straggler_threshold,
+            latest_point_id=latest_point_id,
+            engine=engine,
+            hop_latency=hop_latency,
+        )
+        for index in range(n_shards)
+    ]
+    routing = {
+        mp_id: shards[index % n_shards] for index, mp_id in enumerate(participants)
+    }
+    return master, shards, routing

@@ -1,0 +1,374 @@
+"""The full DBO deployment (Figure 1 wired on the simulator).
+
+Data path:   CES feed → Batcher → multicast (per-MP FIFO forward links)
+             → ReleaseBuffer (pacing, delivery clock) → MarketParticipant
+Trade path:  MP → ReleaseBuffer (tagging) → per-MP FIFO reverse link
+             (shared by trades and heartbeats — FIFO between them is what
+             makes a heartbeat a valid progress proof) → OrderingBuffer
+             → MatchingEngine.
+
+Release buffers get *unsynchronized* local clocks — random offsets up to
+seconds and drift up to the paper's cited bound — precisely because DBO
+must not care (Challenge 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import BaseDeployment, NetworkSpec
+from repro.core.batcher import Batcher
+from repro.core.ordering_buffer import OrderingBuffer
+from repro.core.params import DBOParams
+from repro.core.release_buffer import ReleaseBuffer
+from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
+from repro.core.sync_delivery import SyncAssistedReleaseBuffer
+from repro.exchange.feed import FeedConfig
+from repro.exchange.messages import Heartbeat, MarketDataBatch, TaggedTrade
+from repro.net.link import Link
+from repro.net.multicast import MulticastGroup
+from repro.participants.response_time import ResponseTimeModel
+from repro.participants.strategies import Strategy
+from repro.sim.randomness import stable_uniform
+
+__all__ = ["DBODeployment"]
+
+
+class DBODeployment(BaseDeployment):
+    """A runnable DBO system over a simulated cloud network.
+
+    Parameters beyond :class:`~repro.baselines.base.BaseDeployment`:
+
+    params:
+        δ, κ, τ and the straggler threshold.
+    n_ob_shards:
+        1 (default) uses a single ordering buffer; >1 builds the §5.2
+        hierarchy with a master merger.
+    disable_batching / disable_pacing:
+        Ablation switches (§4.2.2): ``disable_batching`` publishes every
+        point as its own batch regardless of ``(1+κ)δ``;
+        ``disable_pacing`` lets release buffers deliver on arrival with
+        no ≥ δ gap.  Both void the LRTF guarantee — that's the point of
+        the ablation benchmark.
+    sync_target_c1 / sync_error:
+        §4.2.6's sync-assisted delivery: when ``sync_target_c1`` is set,
+        release buffers aim each batch's delivery at the common target
+        ``close + C1`` using synchronized clocks with error bound
+        ``sync_error`` — equalizing inter-delivery times when the network
+        cooperates (better fairness beyond δ) while always preserving
+        LRTF.  ``None`` (default) is plain DBO.
+
+    Examples
+    --------
+    >>> from repro.baselines.base import default_network_specs
+    >>> deployment = DBODeployment(default_network_specs(3, seed=5))
+    >>> result = deployment.run(duration=4_000.0)
+    >>> result.scheme
+    'dbo'
+    """
+
+    scheme_name = "dbo"
+
+    def __init__(
+        self,
+        specs: Sequence[NetworkSpec],
+        params: Optional[DBOParams] = None,
+        feed_config: Optional[FeedConfig] = None,
+        response_time_model: Optional[ResponseTimeModel] = None,
+        strategy_factory: Optional[Callable[[int], Strategy]] = None,
+        execute_trades: bool = False,
+        publish_executions: bool = False,
+        seed: int = 0,
+        rb_clock_drift: float = 1e-4,
+        n_ob_shards: int = 1,
+        shard_master_latency=None,
+        disable_batching: bool = False,
+        disable_pacing: bool = False,
+        sync_target_c1: Optional[float] = None,
+        sync_error: float = 0.0,
+        telemetry_interval: Optional[float] = None,
+        piggyback_suppression: bool = False,
+        ob_service_time: float = 0.0,
+        risk_limits=None,
+    ) -> None:
+        super().__init__(
+            specs,
+            feed_config=feed_config,
+            response_time_model=response_time_model,
+            strategy_factory=strategy_factory,
+            execute_trades=execute_trades,
+            publish_executions=publish_executions,
+            seed=seed,
+            rb_clock_drift=rb_clock_drift,
+        )
+        self.params = params if params is not None else DBOParams()
+        self.n_ob_shards = n_ob_shards
+        self.shard_master_latency = shard_master_latency
+        self.disable_batching = disable_batching
+        self.disable_pacing = disable_pacing
+        self.sync_target_c1 = sync_target_c1
+        self.sync_error = sync_error
+        self.telemetry_interval = telemetry_interval
+        self.telemetry = None
+        self.piggyback_suppression = piggyback_suppression
+        # §5.2 bottleneck modeling: per-message OB processing time.  With
+        # a flat OB one server handles every trade and heartbeat; with
+        # shards each shard gets its own server and the master only sees
+        # the (filtered) shard output.
+        self.ob_service_time = ob_service_time
+        self._ob_service_queues: Dict[str, object] = {}
+        # Optional pre-trade risk gate between OB release and the ME.
+        self.risk_limits = risk_limits
+        self.risk_gate = None
+        self.release_buffers: List[ReleaseBuffer] = []
+        self.ordering_buffer: Optional[OrderingBuffer] = None
+        self.master_ob: Optional[MasterOB] = None
+        self.shards: List[ShardOB] = []
+        self._shard_routing: Dict[str, ShardOB] = {}
+        self.multicast = MulticastGroup()
+        self.reverse_links: Dict[str, Link] = {}
+        self.batcher: Optional[Batcher] = None
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        params = self.params
+        me = self.ces.matching_engine
+
+        if self.risk_limits is not None:
+            from repro.exchange.risk import RiskGate
+
+            self.risk_gate = RiskGate(self.risk_limits, sink=me.submit)
+            previous_hook = me.on_execution
+
+            def on_execution(execution, gate=self.risk_gate, prev=previous_hook):
+                gate.on_execution(execution)
+                if prev is not None:
+                    prev(execution)
+
+            me.on_execution = on_execution
+
+            def release_sink(tagged: TaggedTrade, now: float) -> None:
+                self.risk_gate.submit(tagged.trade, forward_time=now)
+        else:
+            def release_sink(tagged: TaggedTrade, now: float) -> None:
+                me.submit(tagged.trade, forward_time=now)
+
+        if self.n_ob_shards <= 1:
+            self.ordering_buffer = OrderingBuffer(
+                participants=list(self.mp_ids),
+                sink=release_sink,
+                generation_time_of=self.ces.generation_time_of,
+                straggler_threshold=params.straggler_threshold,
+                latest_point_id=lambda: self.ces.points_generated - 1,
+            )
+        else:
+            self.master_ob, self.shards, self._shard_routing = build_sharded_ob(
+                self.mp_ids,
+                self.n_ob_shards,
+                sink=release_sink,
+                generation_time_of=self.ces.generation_time_of,
+                straggler_threshold=params.straggler_threshold,
+                latest_point_id=lambda: self.ces.points_generated - 1,
+                engine=self.engine,
+                hop_latency=self.shard_master_latency,
+            )
+
+        # Emit-on-determination needs a known cadence; Poisson feeds fall
+        # back to window-timer closes.
+        feed_interval = (
+            self.ces.feed.config.interval
+            if self.ces.feed.config.is_periodic
+            else None
+        )
+        batch_span = params.batch_span
+        if self.disable_batching:
+            # Every point closes its own batch: a window no wider than the
+            # feed cadence with emit-on-determination gives 1-point batches.
+            batch_span = min(batch_span, self.ces.feed.config.interval)
+        self.batcher = Batcher(
+            self.engine,
+            batch_span,
+            sink=self._publish_batch,
+            feed_interval=feed_interval,
+        )
+        self.ces.set_distributor(self.batcher.on_point)
+
+        for index, spec in enumerate(self.specs):
+            mp_id = self.mp_ids[index]
+            pacing_gap = 1e-9 if self.disable_pacing else params.delta
+            if self.sync_target_c1 is not None:
+                from repro.sim.clocks import SynchronizedClock
+                from repro.sim.randomness import stable_u64
+
+                rb = SyncAssistedReleaseBuffer(
+                    self.engine,
+                    mp_id=mp_id,
+                    pacing_gap=pacing_gap,
+                    heartbeat_period=params.tau,
+                    sync_clock=SynchronizedClock(
+                        error_bound=self.sync_error,
+                        seed=stable_u64(self.seed, 500 + index),
+                    ),
+                    target_delay=self.sync_target_c1,
+                    local_clock=self._make_rb_clock(index),
+                    rb_to_mp=spec.rb_to_mp,
+                )
+                rb.piggyback_suppression = self.piggyback_suppression
+            else:
+                rb = ReleaseBuffer(
+                    self.engine,
+                    mp_id=mp_id,
+                    pacing_gap=pacing_gap,
+                    heartbeat_period=params.tau,
+                    local_clock=self._make_rb_clock(index),
+                    rb_to_mp=spec.rb_to_mp,
+                    piggyback_suppression=self.piggyback_suppression,
+                )
+            self.release_buffers.append(rb)
+
+            forward = self._make_link(
+                spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index
+            )
+            forward.connect(rb.on_batch)
+            if hasattr(forward, "loss_handler"):
+                forward.loss_handler = rb.on_recovered_batch
+            self.multicast.add_member(mp_id, forward)
+
+            reverse = self._make_link(
+                spec.reverse,
+                spec,
+                name=f"rev-{mp_id}",
+                seed_salt=2 * index + 1,
+                direction="reverse",
+            )
+            self.reverse_links[mp_id] = reverse
+            reverse.connect(self._make_ob_dispatcher(mp_id))
+
+            rb.connect_ob(
+                trade_sink=lambda tagged, link=reverse: link.send(tagged),
+                heartbeat_sink=lambda hb, link=reverse: link.send(hb),
+            )
+            rb.connect_mp(self.participants[index].on_data)
+            self._wire_mp_submitter(index, rb.on_mp_trade)
+
+    def _make_ob_dispatcher(self, mp_id: str):
+        """Reverse-link handler routing trades/heartbeats to the right OB."""
+        if self.n_ob_shards <= 1:
+            target = self.ordering_buffer
+            component_id = "ob"
+        else:
+            target = self._shard_routing[mp_id]
+            component_id = target.shard_id
+
+        def process(message, arrival_time: float) -> None:
+            if isinstance(message, TaggedTrade):
+                target.on_tagged_trade(message, arrival_time, arrival_time)
+            elif isinstance(message, Heartbeat):
+                target.on_heartbeat(message, arrival_time, arrival_time)
+            else:  # pragma: no cover - wiring error
+                raise TypeError(f"unexpected reverse-path message: {message!r}")
+
+        if self.ob_service_time <= 0.0:
+            def dispatch(message, send_time: float, arrival_time: float) -> None:
+                process(message, arrival_time)
+
+            return dispatch
+
+        # One deterministic-service server per OB component (§5.2): the
+        # flat OB funnels everything through one queue; shards each own
+        # one, restoring the parallelism the hierarchy buys.
+        if component_id not in self._ob_service_queues:
+            from repro.sim.service import ServiceQueue
+
+            self._ob_service_queues[component_id] = ServiceQueue(
+                self.engine,
+                self.ob_service_time,
+                handler=lambda message, completion: None,  # set per message below
+                name=f"svc-{component_id}",
+            )
+        queue = self._ob_service_queues[component_id]
+        queue.connect(process)
+
+        def dispatch(message, send_time: float, arrival_time: float) -> None:
+            queue.submit(message)
+
+        return dispatch
+
+    def _publish_batch(self, batch: MarketDataBatch) -> None:
+        now = self.engine.now
+        for point in batch.points:
+            self.network_send_times[point.point_id] = now
+        self.multicast.publish(batch, send_time=now)
+
+    def _start(self, duration: float) -> None:
+        self.batcher.start(0.0)
+        if self.telemetry_interval is not None:
+            from repro.sim.telemetry import TelemetryRecorder
+
+            self.telemetry = TelemetryRecorder(self.engine, self.telemetry_interval)
+            if self.ordering_buffer is not None:
+                ob = self.ordering_buffer
+                self.telemetry.add("ob_queue_depth", lambda: ob.queue_depth)
+            for rb in self.release_buffers:
+                self.telemetry.add(
+                    f"rb_queue_{rb.mp_id}", lambda rb=rb: len(rb._queue)
+                )
+            self.telemetry.start_all(start_time=0.0)
+        for index, rb in enumerate(self.release_buffers):
+            # Stagger heartbeat phases so τ-periodic sends don't synchronize.
+            offset = stable_uniform(0.0, self.params.tau, self.seed, index, 200)
+            rb.start_heartbeats(start_time=offset)
+
+    # ------------------------------------------------------------------
+    def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
+        arrivals: Dict[str, Dict[int, float]] = {}
+        for rb in self.release_buffers:
+            per_point: Dict[int, float] = {}
+            for batch, arrival in rb.batch_arrivals:
+                for point in batch.points:
+                    per_point.setdefault(point.point_id, arrival)
+            arrivals[rb.mp_id] = per_point
+        return arrivals
+
+    def _delivery_times(self) -> Dict[str, Dict[int, float]]:
+        return {rb.mp_id: dict(rb.delivery_times) for rb in self.release_buffers}
+
+    def _counters(self) -> Dict[str, float]:
+        counters: Dict[str, float] = {
+            "rb_max_queue_depth": max(rb.max_queue_depth for rb in self.release_buffers),
+            "heartbeats_sent": sum(rb.heartbeats_sent for rb in self.release_buffers),
+            "heartbeats_suppressed": sum(
+                rb.heartbeats_suppressed for rb in self.release_buffers
+            ),
+            "trades_dropped_untagged": sum(
+                rb.trades_dropped_untagged for rb in self.release_buffers
+            ),
+            "batches_closed": self.batcher.batches_closed if self.batcher else 0,
+        }
+        if self.sync_target_c1 is not None:
+            counters["sync_targets_met"] = sum(
+                rb.targets_met for rb in self.release_buffers
+            )
+            counters["sync_targets_missed"] = sum(
+                rb.targets_missed for rb in self.release_buffers
+            )
+        if self.ordering_buffer is not None:
+            counters["ob_heartbeats_processed"] = self.ordering_buffer.heartbeats_processed
+            counters["ob_max_queue_depth"] = self.ordering_buffer.max_queue_depth
+            counters["ob_stragglers_now"] = len(self.ordering_buffer.straggler_ids())
+        if self.risk_gate is not None:
+            counters["risk_rejections"] = float(len(self.risk_gate.rejections))
+            counters["risk_passed"] = float(self.risk_gate.orders_passed)
+        if self._ob_service_queues:
+            counters["ob_service_max_delay"] = max(
+                q.max_delay for q in self._ob_service_queues.values()
+            )
+            counters["ob_messages_served"] = sum(
+                q.messages_served for q in self._ob_service_queues.values()
+            )
+        if self.master_ob is not None:
+            counters["master_summaries_processed"] = self.master_ob.summaries_processed
+            counters["shard_heartbeats_processed"] = sum(
+                shard.heartbeats_processed for shard in self.shards
+            )
+        return counters

@@ -1,0 +1,126 @@
+"""Position and PnL accounting per participant.
+
+Fairness metrics count orderings; accounting counts *money*.  When the
+matching engine executes for real, every fill moves inventory and cash;
+marking open positions to a reference price yields each participant's
+profit.  The speed-race economics the paper motivates ("this trading
+business is only viable if participants can compete in a fair
+playground") become directly measurable: under Direct delivery the
+participant with the luckiest network path captures the profitable
+fills; under DBO the fastest responder does.
+
+The ledger is double-entry over fills: every execution credits the buyer
+with inventory (debiting cash at the fill price) and vice versa for the
+seller, so aggregate cash and aggregate inventory are conserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exchange.messages import Execution
+
+__all__ = ["Account", "Ledger"]
+
+
+@dataclass
+class Account:
+    """One participant's running position."""
+
+    owner: str
+    cash: float = 0.0
+    inventory: int = 0
+    buys: int = 0
+    sells: int = 0
+    volume: int = 0
+
+    def on_buy(self, price: float, quantity: int) -> None:
+        self.cash -= price * quantity
+        self.inventory += quantity
+        self.buys += 1
+        self.volume += quantity
+
+    def on_sell(self, price: float, quantity: int) -> None:
+        self.cash += price * quantity
+        self.inventory -= quantity
+        self.sells += 1
+        self.volume += quantity
+
+    def marked_pnl(self, reference_price: float) -> float:
+        """Cash plus open inventory marked at ``reference_price``."""
+        return self.cash + self.inventory * reference_price
+
+
+class Ledger:
+    """Double-entry fill accounting across all participants.
+
+    Examples
+    --------
+    >>> from repro.exchange.messages import Execution
+    >>> ledger = Ledger()
+    >>> ledger.apply(Execution(("buyer", 0), ("seller", 0), 10.0, 2, 0.0))
+    >>> ledger.account("buyer").inventory
+    2
+    >>> ledger.account("seller").cash
+    20.0
+    >>> ledger.total_inventory()
+    0
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+        self.fills_applied = 0
+
+    def account(self, owner: str) -> Account:
+        if owner not in self._accounts:
+            self._accounts[owner] = Account(owner)
+        return self._accounts[owner]
+
+    @property
+    def owners(self) -> List[str]:
+        return sorted(self._accounts)
+
+    # ------------------------------------------------------------------
+    def apply(self, execution: Execution) -> None:
+        """Book one fill for both sides."""
+        buyer = execution.buy_key[0]
+        seller = execution.sell_key[0]
+        self.account(buyer).on_buy(execution.price, execution.quantity)
+        self.account(seller).on_sell(execution.price, execution.quantity)
+        self.fills_applied += 1
+
+    def apply_all(self, executions: Iterable[Execution]) -> None:
+        for execution in executions:
+            self.apply(execution)
+
+    # ------------------------------------------------------------------
+    # Conservation invariants (property-tested).
+    # ------------------------------------------------------------------
+    def total_cash(self) -> float:
+        """Always ~0: every fill's cash legs cancel."""
+        return sum(account.cash for account in self._accounts.values())
+
+    def total_inventory(self) -> int:
+        """Always 0: inventory only changes hands."""
+        return sum(account.inventory for account in self._accounts.values())
+
+    def total_marked_pnl(self, reference_price: float) -> float:
+        """Always ~0: trading is zero-sum against a common mark."""
+        return sum(
+            account.marked_pnl(reference_price) for account in self._accounts.values()
+        )
+
+    # ------------------------------------------------------------------
+    def pnl_table(self, reference_price: float) -> List[Tuple[str, float, int, int]]:
+        """``(owner, marked_pnl, inventory, volume)`` rows, best first."""
+        rows = [
+            (
+                account.owner,
+                account.marked_pnl(reference_price),
+                account.inventory,
+                account.volume,
+            )
+            for account in self._accounts.values()
+        ]
+        return sorted(rows, key=lambda row: row[1], reverse=True)

@@ -1,0 +1,180 @@
+"""Wire messages exchanged between CES, release buffers and participants.
+
+Naming follows the paper's notation (Table 1):
+
+* ``x`` — a market data point, identified by ``MarketDataPoint.point_id``;
+  its generation time is ``G(x)``.
+* ``(i, a)`` — the ``a``-th trade from participant ``i``; carried as a
+  :class:`TradeOrder` with ``mp_id`` and ``trade_seq``.
+* Delivery-clock tags (:class:`repro.core.delivery_clock.DeliveryClock`)
+  are attached by the release buffer in a :class:`TaggedTrade` envelope.
+* :class:`Heartbeat` carries ``DC(i, h)`` for the ordering buffer's
+  release rule (§4.1.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "Side",
+    "OrderType",
+    "TimeInForce",
+    "MarketDataPoint",
+    "MarketDataBatch",
+    "TradeOrder",
+    "TaggedTrade",
+    "Heartbeat",
+    "Execution",
+]
+
+
+class Side(enum.Enum):
+    """Order side for the matching engine."""
+
+    BUY = "buy"
+    SELL = "sell"
+
+    def opposite(self) -> "Side":
+        return Side.SELL if self is Side.BUY else Side.BUY
+
+
+class OrderType(enum.Enum):
+    """How the order interacts with price."""
+
+    LIMIT = "limit"
+    MARKET = "market"  # crosses at any price; never rests
+
+
+class TimeInForce(enum.Enum):
+    """How long an unfilled (remainder of an) order lives."""
+
+    GTC = "gtc"  # good-till-cancel: remainder rests in the book
+    IOC = "ioc"  # immediate-or-cancel: remainder is discarded
+    FOK = "fok"  # fill-or-kill: executes fully immediately or not at all
+
+
+@dataclass(frozen=True)
+class MarketDataPoint:
+    """One tick of the market data feed.
+
+    Attributes
+    ----------
+    point_id:
+        Sequential id ``x`` (0-based).
+    generation_time:
+        ``G(x)`` — true time at which the CES produced the point.
+    price:
+        Reference price carried by the tick (drives strategies).
+    is_opportunity:
+        Whether this tick opens a speed-race trading opportunity (a
+        mispricing that racers compete to capture).
+    payload:
+        Opaque extra data (unused by the core; available to strategies).
+    """
+
+    point_id: int
+    generation_time: float
+    price: float = 0.0
+    is_opportunity: bool = False
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class MarketDataBatch:
+    """A batch of consecutive data points (§4.1.2).
+
+    The CES closes a batch every ``(1 + κ)·δ`` microseconds; release
+    buffers deliver all points of a batch at the same instant.
+    """
+
+    batch_id: int
+    points: Tuple[MarketDataPoint, ...]
+    close_time: float
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a batch must contain at least one point")
+        ids = [p.point_id for p in self.points]
+        if any(b != a + 1 for a, b in zip(ids, ids[1:])):
+            raise ValueError("batch points must have consecutive ids")
+
+    @property
+    def first_point_id(self) -> int:
+        return self.points[0].point_id
+
+    @property
+    def last_point_id(self) -> int:
+        """Id of the batch's last point — what the delivery clock advances to."""
+        return self.points[-1].point_id
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class TradeOrder:
+    """A trade order as submitted by a market participant.
+
+    ``trigger_point`` and ``response_time`` are ground-truth fields used
+    *only* for evaluation (§6.1 measures fairness against the known
+    trigger/response time); no scheme is allowed to order trades by them.
+    """
+
+    mp_id: str
+    trade_seq: int
+    side: Side = Side.BUY
+    price: float = 0.0
+    quantity: int = 1
+    order_type: "OrderType" = None  # defaults to LIMIT in __post_init__
+    time_in_force: "TimeInForce" = None  # defaults to GTC
+    # --- ground truth for evaluation only -----------------------------
+    trigger_point: Optional[int] = None
+    response_time: Optional[float] = None
+    submission_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.order_type is None:
+            object.__setattr__(self, "order_type", OrderType.LIMIT)
+        if self.time_in_force is None:
+            object.__setattr__(self, "time_in_force", TimeInForce.GTC)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The paper's ``(i, a)`` identifier."""
+        return (self.mp_id, self.trade_seq)
+
+
+@dataclass(frozen=True)
+class TaggedTrade:
+    """A trade order tagged with its delivery-clock timestamp by the RB."""
+
+    trade: TradeOrder
+    clock: Any  # DeliveryClock; typed loosely to avoid a core<->exchange cycle
+    tagged_at: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return self.trade.key
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness/progress beacon from a release buffer (§4.1.3)."""
+
+    mp_id: str
+    clock: Any  # DeliveryClock
+    generated_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A fill produced by the matching engine."""
+
+    buy_key: Tuple[str, int]
+    sell_key: Tuple[str, int]
+    price: float
+    quantity: int
+    match_time: float

@@ -1,0 +1,281 @@
+"""A price-time-priority limit order book.
+
+The matching engine behind the CES (§5.2's "ME") consumes trades in the
+order handed to it by the sequencer/ordering buffer and must not be
+modified by the fairness mechanism (a stated goal of the paper: DBO,
+unlike FBA and Libra, leaves the matching algorithm untouched).  This
+module implements the standard continuous double auction used by real
+exchanges: limit orders rest in per-price FIFO queues; an incoming order
+crosses against the best opposite price first, then within a price level
+by arrival order (price-time priority).
+
+The book is deliberately independent of the simulator: it is a plain data
+structure exercised heavily by unit and property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.exchange.messages import Execution, OrderType, Side, TimeInForce, TradeOrder
+
+__all__ = ["LimitOrderBook", "RestingOrder", "BookLevel"]
+
+
+@dataclass
+class RestingOrder:
+    """An order resting in the book with its remaining quantity."""
+
+    order: TradeOrder
+    remaining: int
+    arrival_seq: int
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return self.order.key
+
+
+@dataclass(frozen=True)
+class BookLevel:
+    """A snapshot of one price level (price, total resting quantity)."""
+
+    price: float
+    quantity: int
+    order_count: int
+
+
+class LimitOrderBook:
+    """Continuous double auction with price-time priority.
+
+    Examples
+    --------
+    >>> from repro.exchange.messages import TradeOrder, Side
+    >>> book = LimitOrderBook()
+    >>> _ = book.submit(TradeOrder("mp0", 0, Side.SELL, price=10.0, quantity=5))
+    >>> fills = book.submit(TradeOrder("mp1", 0, Side.BUY, price=10.0, quantity=3))
+    >>> [(f.price, f.quantity) for f in fills]
+    [(10.0, 3)]
+    >>> book.best_ask()
+    10.0
+    """
+
+    def __init__(self, prevent_self_match: bool = False) -> None:
+        # Self-match prevention (standard exchange risk control): when an
+        # incoming order would cross a resting order from the *same
+        # participant*, the resting order is cancelled instead of traded
+        # ("cancel resting" policy).
+        self.prevent_self_match = prevent_self_match
+        self.self_match_cancels = 0
+        # Max-heap of bid prices (negated) and min-heap of ask prices;
+        # lazily cleaned when levels empty.
+        self._bid_heap: List[float] = []
+        self._ask_heap: List[float] = []
+        self._bids: Dict[float, Deque[RestingOrder]] = {}
+        self._asks: Dict[float, Deque[RestingOrder]] = {}
+        self._by_key: Dict[Tuple[str, int], RestingOrder] = {}
+        self._arrival_counter = 0
+        self.executions: List[Execution] = []
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def best_bid(self) -> Optional[float]:
+        """Highest resting buy price, or ``None`` if no bids."""
+        self._clean(self._bid_heap, self._bids, is_bid=True)
+        return -self._bid_heap[0] if self._bid_heap else None
+
+    def best_ask(self) -> Optional[float]:
+        """Lowest resting sell price, or ``None`` if no asks."""
+        self._clean(self._ask_heap, self._asks, is_bid=False)
+        return self._ask_heap[0] if self._ask_heap else None
+
+    def spread(self) -> Optional[float]:
+        """Best ask minus best bid, or ``None`` if either side is empty."""
+        bid, ask = self.best_bid(), self.best_ask()
+        if bid is None or ask is None:
+            return None
+        return ask - bid
+
+    def depth(self, side: Side) -> List[BookLevel]:
+        """Sorted levels for one side (best first)."""
+        table = self._bids if side is Side.BUY else self._asks
+        prices = sorted(table, reverse=(side is Side.BUY))
+        return [
+            BookLevel(
+                price=price,
+                quantity=sum(r.remaining for r in table[price]),
+                order_count=len(table[price]),
+            )
+            for price in prices
+            if table[price]
+        ]
+
+    def resting_quantity(self, key: Tuple[str, int]) -> int:
+        """Remaining quantity of a resting order (0 if fully filled/gone)."""
+        resting = self._by_key.get(key)
+        return resting.remaining if resting else 0
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._by_key and self._by_key[key].remaining > 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def submit(self, order: TradeOrder, match_time: float = 0.0) -> List[Execution]:
+        """Process an incoming order; returns the fills it produced.
+
+        Limit orders cross against resting liquidity at prices satisfying
+        the limit; market orders cross at any price.  Time-in-force
+        governs the remainder: GTC rests it (limit only), IOC discards
+        it, FOK executes the whole quantity immediately or nothing.
+        """
+        if order.quantity <= 0:
+            raise ValueError(f"order quantity must be positive: {order}")
+        if order.key in self._by_key and self._by_key[order.key].remaining > 0:
+            raise ValueError(f"duplicate order key: {order.key}")
+        if order.order_type is OrderType.MARKET and order.time_in_force is TimeInForce.GTC:
+            raise ValueError("market orders cannot rest: use IOC or FOK")
+        if order.time_in_force is TimeInForce.FOK:
+            if self._available_against(order) < order.quantity:
+                return []
+        fills = self._cross(order, match_time)
+        filled = sum(f.quantity for f in fills)
+        remainder = order.quantity - filled
+        if remainder > 0 and order.time_in_force is TimeInForce.GTC:
+            self._rest(order, remainder)
+        self.executions.extend(fills)
+        return fills
+
+    def replace(
+        self,
+        key: Tuple[str, int],
+        new_order: TradeOrder,
+        match_time: float = 0.0,
+    ) -> List[Execution]:
+        """Cancel-replace: atomically swap a resting order for a new one.
+
+        Exchange semantics: a replace always forfeits time priority
+        (cancel + new), except the common optimization of a pure
+        quantity *reduction* at the same price and side, which keeps the
+        original queue position.
+
+        Returns the fills produced if the replacement crosses.
+        """
+        resting = self._by_key.get(key)
+        if resting is None or resting.remaining <= 0:
+            raise KeyError(f"no resting order {key}")
+        old = resting.order
+        same_terms = (
+            new_order.side is old.side
+            and new_order.price == old.price
+            and new_order.quantity <= resting.remaining
+        )
+        if same_terms:
+            # In-place size reduction: keep priority.
+            resting.remaining = new_order.quantity
+            del self._by_key[key]
+            resting.order = new_order
+            self._by_key[new_order.key] = resting
+            return []
+        self.cancel(key)
+        return self.submit(new_order, match_time=match_time)
+
+    def _available_against(self, order: TradeOrder) -> int:
+        """Total resting quantity the order could cross (FOK feasibility)."""
+        table = self._asks if order.side is Side.BUY else self._bids
+        total = 0
+        for price, queue in table.items():
+            if order.order_type is OrderType.LIMIT and not self._price_crosses(order, price):
+                continue
+            total += sum(r.remaining for r in queue)
+        return total
+
+    def cancel(self, key: Tuple[str, int]) -> bool:
+        """Cancel a resting order; returns whether anything was cancelled."""
+        resting = self._by_key.get(key)
+        if resting is None or resting.remaining <= 0:
+            return False
+        resting.remaining = 0
+        del self._by_key[key]
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clean(heap: List[float], table: Dict[float, Deque[RestingOrder]], is_bid: bool) -> None:
+        """Drop emptied or stale price levels from the top of a heap."""
+        while heap:
+            price = -heap[0] if is_bid else heap[0]
+            queue = table.get(price)
+            if queue:
+                # Drop fully-cancelled entries at the head.
+                while queue and queue[0].remaining <= 0:
+                    queue.popleft()
+                if queue:
+                    return
+            heapq.heappop(heap)
+            table.pop(price, None)
+
+    def _price_crosses(self, order: TradeOrder, level_price: float) -> bool:
+        if order.order_type is OrderType.MARKET:
+            return True
+        if order.side is Side.BUY:
+            return level_price <= order.price
+        return level_price >= order.price
+
+    def _cross(self, order: TradeOrder, match_time: float) -> List[Execution]:
+        fills: List[Execution] = []
+        remaining = order.quantity
+        opposite_heap = self._ask_heap if order.side is Side.BUY else self._bid_heap
+        opposite_table = self._asks if order.side is Side.BUY else self._bids
+        is_opposite_bid = order.side is Side.SELL
+        while remaining > 0:
+            self._clean(opposite_heap, opposite_table, is_bid=is_opposite_bid)
+            if not opposite_heap:
+                break
+            level_price = -opposite_heap[0] if is_opposite_bid else opposite_heap[0]
+            if not self._price_crosses(order, level_price):
+                break
+            queue = opposite_table[level_price]
+            resting = queue[0]
+            if self.prevent_self_match and resting.order.mp_id == order.mp_id:
+                self.self_match_cancels += 1
+                self.cancel(resting.key)
+                continue
+            traded = min(remaining, resting.remaining)
+            resting.remaining -= traded
+            remaining -= traded
+            if resting.remaining == 0:
+                queue.popleft()
+                self._by_key.pop(resting.key, None)
+            buy_key = order.key if order.side is Side.BUY else resting.key
+            sell_key = resting.key if order.side is Side.BUY else order.key
+            fills.append(
+                Execution(
+                    buy_key=buy_key,
+                    sell_key=sell_key,
+                    price=level_price,
+                    quantity=traded,
+                    match_time=match_time,
+                )
+            )
+        return fills
+
+    def _rest(self, order: TradeOrder, remaining: int) -> None:
+        self._arrival_counter += 1
+        resting = RestingOrder(order=order, remaining=remaining, arrival_seq=self._arrival_counter)
+        self._by_key[order.key] = resting
+        if order.side is Side.BUY:
+            if order.price not in self._bids:
+                self._bids[order.price] = deque()
+                heapq.heappush(self._bid_heap, -order.price)
+            self._bids[order.price].append(resting)
+        else:
+            if order.price not in self._asks:
+                self._asks[order.price] = deque()
+                heapq.heappush(self._ask_heap, order.price)
+            self._asks[order.price].append(resting)

@@ -1,0 +1,149 @@
+"""Pre-trade risk controls: the gate between sequencing and matching.
+
+Real exchanges run risk checks on every order *after* sequencing and
+*before* matching — fat-finger size limits, per-participant position
+limits, and order-rate throttles.  The gate is fairness-neutral: it never
+reorders, it only drops — so it composes with any ordering scheme (DBO's
+OB hands released trades to the gate, the gate hands survivors to the
+ME in the same order).
+
+:class:`RiskGate` implements the three standard checks with per-
+participant state and full rejection accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.exchange.messages import Execution, Side, TradeOrder
+
+__all__ = ["RiskLimits", "RiskGate", "Rejection"]
+
+
+@dataclass(frozen=True)
+class RiskLimits:
+    """Per-participant limits.  ``None`` disables a check.
+
+    Attributes
+    ----------
+    max_order_size:
+        Largest quantity a single order may carry (fat-finger guard).
+    max_position:
+        Absolute inventory bound; an order is rejected if a *full* fill
+        could push the participant beyond it (conservative, as real
+        pre-trade checks are).
+    max_orders_per_window / rate_window:
+        At most this many orders per rolling window of ``rate_window`` µs.
+    """
+
+    max_order_size: Optional[int] = None
+    max_position: Optional[int] = None
+    max_orders_per_window: Optional[int] = None
+    rate_window: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.max_order_size is not None and self.max_order_size <= 0:
+            raise ValueError("max_order_size must be positive")
+        if self.max_position is not None and self.max_position <= 0:
+            raise ValueError("max_position must be positive")
+        if self.max_orders_per_window is not None and self.max_orders_per_window <= 0:
+            raise ValueError("max_orders_per_window must be positive")
+        if self.rate_window <= 0:
+            raise ValueError("rate_window must be positive")
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One rejected order and why."""
+
+    order: TradeOrder
+    reason: str
+    at: float
+
+
+class RiskGate:
+    """Per-participant pre-trade checks, order-preserving.
+
+    Parameters
+    ----------
+    limits:
+        Default limits for every participant; per-participant overrides
+        via ``set_limits``.
+    sink:
+        ``sink(order, forward_time)`` for orders that pass (typically the
+        matching engine's ``submit``).
+
+    The gate tracks positions from executions reported back via
+    :meth:`on_execution` (wire it to the ME's ``on_execution`` hook or
+    call it from the deployment).
+    """
+
+    def __init__(
+        self,
+        limits: RiskLimits,
+        sink: Optional[Callable[[TradeOrder, float], None]] = None,
+    ) -> None:
+        self.default_limits = limits
+        self.sink = sink
+        self._limits: Dict[str, RiskLimits] = {}
+        self._positions: Dict[str, int] = {}
+        self._recent_orders: Dict[str, Deque[float]] = {}
+        self.rejections: List[Rejection] = []
+        self.orders_passed = 0
+
+    def set_limits(self, mp_id: str, limits: RiskLimits) -> None:
+        self._limits[mp_id] = limits
+
+    def limits_for(self, mp_id: str) -> RiskLimits:
+        return self._limits.get(mp_id, self.default_limits)
+
+    def position_of(self, mp_id: str) -> int:
+        return self._positions.get(mp_id, 0)
+
+    # ------------------------------------------------------------------
+    def on_execution(self, execution: Execution) -> None:
+        """Update positions from a fill."""
+        buyer, seller = execution.buy_key[0], execution.sell_key[0]
+        self._positions[buyer] = self._positions.get(buyer, 0) + execution.quantity
+        self._positions[seller] = self._positions.get(seller, 0) - execution.quantity
+
+    def _check(self, order: TradeOrder, now: float) -> Optional[str]:
+        limits = self.limits_for(order.mp_id)
+        if limits.max_order_size is not None and order.quantity > limits.max_order_size:
+            return "max_order_size"
+        if limits.max_position is not None:
+            position = self._positions.get(order.mp_id, 0)
+            delta = order.quantity if order.side is Side.BUY else -order.quantity
+            if abs(position + delta) > limits.max_position:
+                return "max_position"
+        if limits.max_orders_per_window is not None:
+            window = self._recent_orders.setdefault(order.mp_id, deque())
+            while window and window[0] <= now - limits.rate_window:
+                window.popleft()
+            if len(window) >= limits.max_orders_per_window:
+                return "order_rate"
+        return None
+
+    def submit(self, order: TradeOrder, forward_time: float) -> bool:
+        """Run the checks; forward on pass.  Returns whether it passed."""
+        if self.sink is None:
+            raise RuntimeError("risk gate has no sink")
+        reason = self._check(order, forward_time)
+        if reason is not None:
+            self.rejections.append(Rejection(order, reason, forward_time))
+            return False
+        limits = self.limits_for(order.mp_id)
+        if limits.max_orders_per_window is not None:
+            self._recent_orders.setdefault(order.mp_id, deque()).append(forward_time)
+        self.orders_passed += 1
+        self.sink(order, forward_time)
+        return True
+
+    def rejection_counts(self) -> Dict[str, int]:
+        """Rejections grouped by reason."""
+        counts: Dict[str, int] = {}
+        for rejection in self.rejections:
+            counts[rejection.reason] = counts.get(rejection.reason, 0) + 1
+        return counts

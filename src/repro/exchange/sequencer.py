@@ -1,0 +1,44 @@
+"""The FCFS sequencer used by on-premise exchanges and the Direct baseline.
+
+On-premise deployments order trades first-come-first-served at the CES
+(§2): with engineered equal bi-directional latency, arrival order equals
+response-time order, so FCFS is fair *there*.  In the cloud, arrival order
+reflects network luck — the Direct baseline routes trades through this
+sequencer and measures exactly how unfair that is (Tables 2 and 3).
+
+The sequencer also supports tie-breaking policies for trades arriving at
+the same instant, which matters for the Libra baseline (random priority)
+and for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exchange.matching import MatchingEngine
+from repro.exchange.messages import TradeOrder
+
+__all__ = ["FCFSSequencer"]
+
+
+class FCFSSequencer:
+    """Forwards trades to the matching engine in arrival order.
+
+    Parameters
+    ----------
+    engine_sink:
+        The matching engine receiving the sequenced trades.
+    """
+
+    def __init__(self, engine_sink: MatchingEngine) -> None:
+        self.sink = engine_sink
+        self.arrivals: List[Tuple[float, TradeOrder]] = []
+
+    def on_trade(self, order: TradeOrder, arrival_time: float) -> None:
+        """Handle a trade arriving at the CES at ``arrival_time``."""
+        self.arrivals.append((arrival_time, order))
+        self.sink.submit(order, forward_time=arrival_time)
+
+    @property
+    def trades_sequenced(self) -> int:
+        return len(self.arrivals)

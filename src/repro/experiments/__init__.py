@@ -1,0 +1,61 @@
+"""Experiment harness: scenarios, runner, and table/figure regeneration."""
+
+from repro.experiments.figures import (
+    FigureResult,
+    figure2_cloudex_spike,
+    figure7_pacing_drain,
+    figure10_latency_cdfs,
+    figure11_network_trace,
+    figure12_scaling,
+    figure13_cloudex_vs_dbo,
+)
+from repro.experiments.runner import (
+    SCHEMES,
+    SchemeSummary,
+    build_deployment,
+    comparison_table,
+    run_scheme,
+    summarize,
+)
+from repro.experiments.scenarios import (
+    baremetal_specs,
+    cloud_specs,
+    congested_specs,
+    figure11_trace,
+    multizone_specs,
+    sim_trace,
+    trace_specs,
+)
+from repro.experiments.tables import (
+    TableResult,
+    table2_baremetal,
+    table3_cloud,
+    table4_slow_responders,
+)
+
+__all__ = [
+    "FigureResult",
+    "figure2_cloudex_spike",
+    "figure7_pacing_drain",
+    "figure10_latency_cdfs",
+    "figure11_network_trace",
+    "figure12_scaling",
+    "figure13_cloudex_vs_dbo",
+    "SCHEMES",
+    "SchemeSummary",
+    "build_deployment",
+    "comparison_table",
+    "run_scheme",
+    "summarize",
+    "baremetal_specs",
+    "cloud_specs",
+    "congested_specs",
+    "figure11_trace",
+    "multizone_specs",
+    "sim_trace",
+    "trace_specs",
+    "TableResult",
+    "table2_baremetal",
+    "table3_cloud",
+    "table4_slow_responders",
+]

@@ -1,0 +1,158 @@
+"""Regeneration of the paper's tables (2, 3 and 4).
+
+Each function runs the relevant schemes on the matching scenario and
+returns both the structured numbers and a rendered text table in the
+paper's layout.  Absolute microsecond values depend on the latency-model
+calibration; the *shape* — who is fair, who is fast, and the ordering
+Direct < Max-RTT < DBO in latency — is the reproduction target
+(EXPERIMENTS.md records paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.params import DBOParams
+from repro.exchange.feed import FeedConfig
+from repro.experiments.runner import SchemeSummary, comparison_table, run_scheme, summarize
+from repro.experiments.scenarios import baremetal_specs, cloud_specs
+from repro.metrics.report import render_table
+from repro.participants.response_time import RaceResponseTime
+
+__all__ = ["TableResult", "table2_baremetal", "table3_cloud", "table4_slow_responders"]
+
+# The paper's evaluation parameters (§6.1-§6.3).
+PAPER_FEED = FeedConfig(interval=40.0)
+PAPER_PARAMS = DBOParams(delta=20.0, kappa=0.25, tau=20.0)
+
+# Speed-race workload: race base times span 5-20 µs (the paper's range);
+# competitors finish `gap` apart.  The gaps are calibrated so that Direct
+# delivery reproduces the paper's measured unfairness on each network
+# (sub-µs margins in the cloud, ~2 µs on the quieter testbed — see
+# EXPERIMENTS.md for the calibration rationale).
+BAREMETAL_GAP = 2.0
+CLOUD_GAP = 0.1
+
+
+@dataclass
+class TableResult:
+    """Structured output of one table regeneration."""
+
+    name: str
+    summaries: List[SchemeSummary]
+    text: str
+    extra: Dict[str, object]
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def table2_baremetal(
+    duration: float = 100_000.0,
+    seed: int = 11,
+    n_participants: int = 2,
+) -> TableResult:
+    """Table 2: fairness and trade latency on the bare-metal testbed.
+
+    Paper: Direct 74.62 % fair / 9.6 µs avg; DBO 100 % fair / 15.9 µs avg;
+    Max-RTT in between.
+    """
+    specs = baremetal_specs(n_participants=n_participants, seed=seed)
+    common = dict(
+        feed_config=PAPER_FEED,
+        response_time_model=RaceResponseTime(n_participants, gap=BAREMETAL_GAP, seed=seed + 1),
+        seed=seed,
+    )
+    direct = summarize(run_scheme("direct", specs, duration=duration, **common))
+    dbo = summarize(
+        run_scheme("dbo", specs, duration=duration, params=PAPER_PARAMS, **common)
+    )
+    text = comparison_table(
+        [direct, dbo], title="Table 2 — bare-metal testbed (2 MPs, 25k ticks/s)"
+    )
+    return TableResult("table2", [direct, dbo], text, extra={"specs": specs})
+
+
+def table3_cloud(
+    duration: float = 100_000.0,
+    seed: int = 12,
+    n_participants: int = 10,
+) -> TableResult:
+    """Table 3: fairness and end-to-end latency in the cloud deployment.
+
+    Paper: Direct 57.61 % / 27.9 µs avg; DBO 100 % / 47.2 µs avg;
+    Max-RTT 33.3 µs avg.  10 MPs at 125k trades/s aggregate.
+    """
+    specs = cloud_specs(n_participants=n_participants, seed=seed)
+    common = dict(
+        feed_config=PAPER_FEED,
+        response_time_model=RaceResponseTime(n_participants, gap=CLOUD_GAP, seed=seed + 1),
+        seed=seed,
+    )
+    direct = summarize(run_scheme("direct", specs, duration=duration, **common))
+    dbo = summarize(
+        run_scheme("dbo", specs, duration=duration, params=PAPER_PARAMS, **common)
+    )
+    text = comparison_table(
+        [direct, dbo], title="Table 3 — cloud deployment (10 MPs, 125k trades/s)"
+    )
+    return TableResult("table3", [direct, dbo], text, extra={"specs": specs})
+
+
+def table4_slow_responders(
+    duration: float = 60_000.0,
+    seed: int = 12,
+    n_participants: int = 10,
+    buckets: Sequence[Tuple[float, float]] = (
+        (10.0, 15.0),
+        (15.0, 20.0),
+        (20.0, 25.0),
+        (25.0, 30.0),
+        (30.0, 35.0),
+        (35.0, 40.0),
+    ),
+) -> TableResult:
+    """Table 4: fairness for trades with response time beyond δ = 20 µs.
+
+    One experiment per response-time bucket, exactly as in the paper.
+    Expect Direct ≈ 0.45-0.46 throughout and DBO ≈ 1.0 decaying only
+    slightly past the horizon (temporal correlation keeps inter-delivery
+    times nearly equal).
+    """
+    specs = cloud_specs(n_participants=n_participants, seed=seed)
+    direct_row: List[object] = ["direct"]
+    dbo_row: List[object] = ["dbo"]
+    per_bucket: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for low, high in buckets:
+        rt_model = RaceResponseTime(
+            n_participants, low=low, high=high, gap=CLOUD_GAP, seed=seed + 1
+        )
+        common = dict(
+            feed_config=PAPER_FEED,
+            response_time_model=rt_model,
+            seed=seed,
+        )
+        direct = summarize(
+            run_scheme("direct", specs, duration=duration, **common), with_bound=False
+        )
+        dbo = summarize(
+            run_scheme(
+                "dbo", specs, duration=duration, params=PAPER_PARAMS, **common
+            ),
+            with_bound=False,
+        )
+        per_bucket[(low, high)] = {
+            "direct": direct.fairness.ratio,
+            "dbo": dbo.fairness.ratio,
+        }
+        direct_row.append(direct.fairness.ratio)
+        dbo_row.append(dbo.fairness.ratio)
+    headers = ["scheme"] + [f"RT {int(lo)}-{int(hi)}" for lo, hi in buckets]
+    text = render_table(
+        headers,
+        [direct_row, dbo_row],
+        title="Table 4 — fairness for trades with response time > δ = 20 µs",
+        float_format="{:.3f}",
+    )
+    return TableResult("table4", [], text, extra={"per_bucket": per_bucket})

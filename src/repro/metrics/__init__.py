@@ -1,0 +1,51 @@
+"""Metrics: fairness ratio, latency statistics, Max-RTT bound, reports."""
+
+from repro.metrics.fairness import (
+    FairnessReport,
+    causality_violations,
+    evaluate_fairness,
+    fairness_by_rt_bucket,
+    pairwise_correct,
+)
+from repro.metrics.latency import (
+    LatencyStats,
+    data_delivery_latencies,
+    latency_stats,
+    max_rtt_bound_per_trade,
+    max_rtt_stats,
+    trade_latencies,
+)
+from repro.metrics.records import RunResult, TradeRecord
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.report import cdf_points, render_cdf, render_series, render_table
+from repro.metrics.serialization import (
+    load_run_result,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run_result,
+)
+
+__all__ = [
+    "FairnessReport",
+    "causality_violations",
+    "evaluate_fairness",
+    "fairness_by_rt_bucket",
+    "pairwise_correct",
+    "LatencyStats",
+    "data_delivery_latencies",
+    "latency_stats",
+    "max_rtt_bound_per_trade",
+    "max_rtt_stats",
+    "trade_latencies",
+    "RunResult",
+    "TradeRecord",
+    "cdf_points",
+    "render_cdf",
+    "render_series",
+    "render_table",
+    "ascii_plot",
+    "load_run_result",
+    "run_result_from_dict",
+    "run_result_to_dict",
+    "save_run_result",
+]

@@ -1,0 +1,98 @@
+"""Terminal plotting for figure benchmarks: scatter/line charts in text.
+
+The figure regenerations print tables of series; for the shapes the paper
+shows graphically (the Figure 7 drain slope, Figure 11's spike train,
+Figure 10's CDF steps) a picture — even a character grid — reads better.
+No plotting dependency is available offline, so this is a small,
+dependency-free renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10_000 or magnitude < 0.01:
+        return f"{value:.2e}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    if magnitude >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def ascii_plot(
+    named_series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``(x, y)`` series as a character grid.
+
+    Each series gets a marker from ``* o + x # @ % &`` (in insertion
+    order); overlapping points show the later series' marker.  Axes are
+    annotated with min/max values.
+
+    Parameters
+    ----------
+    named_series:
+        Mapping of series name to its points.  Empty series are skipped.
+    width, height:
+        Plot area size in characters (excluding axis annotations).
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    series_items = [(name, list(pts)) for name, pts in named_series.items() if pts]
+    if not series_items:
+        raise ValueError("nothing to plot")
+
+    xs = [x for _, pts in series_items for x, _ in pts]
+    ys = [y for _, pts in series_items for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series_items):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, (name, _) in enumerate(series_items)
+    )
+    lines.append(legend)
+    top_label = _nice_number(y_max)
+    bottom_label = _nice_number(y_min)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = _nice_number(x_min)
+    x_right = _nice_number(x_max)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (label_width + 2) + x_left + " " * gap + x_right)
+    lines.append(f"{y_label} vs {x_label}")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""The paper's fairness metric (§6.1) and related checks.
+
+    "For any number of MPs, perfect fairness is achieved when all
+    competing trades among all unique pairs of participants are fully
+    ordered (from faster to slower).  We define the metric of fairness as
+    the ratio of the number of competing trade sets that were ordered
+    correctly to the total number of competing trade sets for all unique
+    pairs of market participants."
+
+A *competing pair* is two completed trades from different participants
+with the same trigger point; it is ordered correctly when the trade with
+the smaller response time has the smaller final position ``O``.  Pairs
+with exactly equal response times carry no expectation and are skipped
+(they have measure zero under the continuous RT distributions used).
+
+Also provided: the causality check of Eq. 4 (a participant's own trades
+must be ordered in submission order) and a per-response-time-bucket
+breakdown used by Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.records import RunResult, TradeRecord
+
+__all__ = [
+    "FairnessReport",
+    "evaluate_fairness",
+    "causality_violations",
+    "fairness_by_rt_bucket",
+    "pairwise_correct",
+]
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Result of the pairwise fairness evaluation."""
+
+    correct_pairs: int
+    total_pairs: int
+    races: int
+    unordered_trades: int
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of competing pairs ordered correctly (1.0 = perfect).
+
+        Vacuously 1.0 when no pairs competed.
+        """
+        if self.total_pairs == 0:
+            return 1.0
+        return self.correct_pairs / self.total_pairs
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.ratio
+
+    def __str__(self) -> str:
+        return (
+            f"fairness {self.percent:.2f}% "
+            f"({self.correct_pairs}/{self.total_pairs} pairs over {self.races} races)"
+        )
+
+
+def pairwise_correct(a: TradeRecord, b: TradeRecord) -> Optional[bool]:
+    """Whether a competing pair is ordered correctly.
+
+    Returns ``None`` when the pair carries no expectation (same MP,
+    different trigger, equal response times, or either trade incomplete).
+    """
+    if a.mp_id == b.mp_id or a.trigger_point != b.trigger_point:
+        return None
+    if not (a.completed and b.completed):
+        return None
+    if a.response_time == b.response_time:
+        return None
+    faster, slower = (a, b) if a.response_time < b.response_time else (b, a)
+    return faster.position < slower.position
+
+
+def evaluate_fairness(result: RunResult) -> FairnessReport:
+    """Compute the paper's fairness ratio over all speed races in a run."""
+    races = result.trades_by_trigger()
+    correct = 0
+    total = 0
+    unordered = sum(1 for t in result.trades if not t.completed)
+    for trades in races.values():
+        # Sort by response time: all pairs (faster, slower) then reduce to
+        # a single O(n log n + pairs) sweep per race.
+        trades_sorted = sorted(trades, key=lambda t: t.response_time)
+        for i in range(len(trades_sorted)):
+            for j in range(i + 1, len(trades_sorted)):
+                verdict = pairwise_correct(trades_sorted[i], trades_sorted[j])
+                if verdict is None:
+                    continue
+                total += 1
+                if verdict:
+                    correct += 1
+    return FairnessReport(
+        correct_pairs=correct,
+        total_pairs=total,
+        races=len(races),
+        unordered_trades=unordered,
+    )
+
+
+def causality_violations(result: RunResult) -> int:
+    """Eq. 4: count same-participant inversions (submitted earlier but
+    ordered later).  DBO must always return 0 — delivery clocks are
+    monotone."""
+    violations = 0
+    by_mp: Dict[str, List[TradeRecord]] = {}
+    for trade in result.completed_trades:
+        by_mp.setdefault(trade.mp_id, []).append(trade)
+    for trades in by_mp.values():
+        trades_sorted = sorted(trades, key=lambda t: t.submission_time)
+        for earlier, later in zip(trades_sorted, trades_sorted[1:]):
+            if earlier.submission_time < later.submission_time and earlier.position > later.position:
+                violations += 1
+    return violations
+
+
+def fairness_by_rt_bucket(
+    result: RunResult,
+    buckets: Sequence[Tuple[float, float]],
+) -> Dict[Tuple[float, float], FairnessReport]:
+    """Fairness restricted to races whose *faster* trade falls in a bucket.
+
+    Table 4 runs separate experiments per response-time range; this
+    helper additionally supports slicing a single mixed run: a competing
+    pair is attributed to the bucket containing the faster trade's
+    response time (the LRTF condition constrains only the faster trade).
+    """
+    races = result.trades_by_trigger()
+    tallies: Dict[Tuple[float, float], List[int]] = {b: [0, 0] for b in buckets}
+    for trades in races.values():
+        trades_sorted = sorted(trades, key=lambda t: t.response_time)
+        for i in range(len(trades_sorted)):
+            for j in range(i + 1, len(trades_sorted)):
+                verdict = pairwise_correct(trades_sorted[i], trades_sorted[j])
+                if verdict is None:
+                    continue
+                faster_rt = min(
+                    trades_sorted[i].response_time, trades_sorted[j].response_time
+                )
+                for bucket in buckets:
+                    if bucket[0] <= faster_rt < bucket[1]:
+                        tallies[bucket][1] += 1
+                        if verdict:
+                            tallies[bucket][0] += 1
+                        break
+    return {
+        bucket: FairnessReport(
+            correct_pairs=counts[0],
+            total_pairs=counts[1],
+            races=len(races),
+            unordered_trades=0,
+        )
+        for bucket, counts in tallies.items()
+    }

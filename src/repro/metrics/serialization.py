@@ -1,0 +1,113 @@
+"""Persist run results to JSON for offline analysis.
+
+A :class:`~repro.metrics.records.RunResult` holds one non-serializable
+member — the ``reverse_latency_at`` accessor used by the Max-RTT bound.
+To keep saved results self-contained, the serializer *materializes* the
+bound per trade before writing (when the accessor is present), so a
+loaded result can still report every paper metric.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.latency import max_rtt_bound_per_trade
+from repro.metrics.records import RunResult, TradeRecord
+
+__all__ = ["run_result_to_dict", "run_result_from_dict", "save_run_result", "load_run_result"]
+
+_FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-safe dict capturing the full run (bounds materialized)."""
+    bounds: Optional[List[float]] = None
+    if result.reverse_latency_at is not None:
+        bounds = max_rtt_bound_per_trade(result)
+    return {
+        "format_version": _FORMAT_VERSION,
+        "scheme": result.scheme,
+        "duration": result.duration,
+        "counters": dict(result.counters),
+        "trades": [
+            {
+                "mp_id": t.mp_id,
+                "trade_seq": t.trade_seq,
+                "trigger_point": t.trigger_point,
+                "response_time": t.response_time,
+                "submission_time": t.submission_time,
+                "forward_time": t.forward_time,
+                "position": t.position,
+            }
+            for t in result.trades
+        ],
+        # JSON objects have string keys; convert back on load.
+        "generation_times": {str(k): v for k, v in result.generation_times.items()},
+        "network_send_times": {str(k): v for k, v in result.network_send_times.items()},
+        "raw_arrivals": {
+            mp: {str(k): v for k, v in points.items()}
+            for mp, points in result.raw_arrivals.items()
+        },
+        "delivery_times": {
+            mp: {str(k): v for k, v in points.items()}
+            for mp, points in result.delivery_times.items()
+        },
+        "max_rtt_bounds": bounds,
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` saved by :func:`run_result_to_dict`.
+
+    The ``reverse_latency_at`` accessor cannot be restored; the
+    materialized Max-RTT bounds are attached as
+    ``result.counters['_max_rtt_bounds']``-adjacent extra (returned via
+    the dict's ``max_rtt_bounds`` key — use :func:`load_run_result` which
+    returns both).
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported run-result format version: {version!r}")
+    trades = [
+        TradeRecord(
+            mp_id=t["mp_id"],
+            trade_seq=t["trade_seq"],
+            trigger_point=t["trigger_point"],
+            response_time=t["response_time"],
+            submission_time=t["submission_time"],
+            forward_time=t["forward_time"],
+            position=t["position"],
+        )
+        for t in data["trades"]
+    ]
+    return RunResult(
+        scheme=data["scheme"],
+        trades=trades,
+        generation_times={int(k): v for k, v in data["generation_times"].items()},
+        network_send_times={int(k): v for k, v in data["network_send_times"].items()},
+        raw_arrivals={
+            mp: {int(k): v for k, v in points.items()}
+            for mp, points in data["raw_arrivals"].items()
+        },
+        delivery_times={
+            mp: {int(k): v for k, v in points.items()}
+            for mp, points in data["delivery_times"].items()
+        },
+        reverse_latency_at=None,
+        duration=data["duration"],
+        counters=dict(data["counters"]),
+    )
+
+
+def save_run_result(result: RunResult, path: str) -> None:
+    """Write a run result as JSON."""
+    with open(path, "w") as handle:
+        json.dump(run_result_to_dict(result), handle)
+
+
+def load_run_result(path: str):
+    """Load a saved run: returns ``(RunResult, max_rtt_bounds or None)``."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return run_result_from_dict(data), data.get("max_rtt_bounds")

@@ -1,0 +1,47 @@
+"""Network substrate: latency models, FIFO links, traces, multicast."""
+
+from repro.net.latency import (
+    CloudLatencyModel,
+    CompositeLatency,
+    ConstantLatency,
+    LatencyModel,
+    NormalJitterLatency,
+    ScaledLatency,
+    ShiftedLatency,
+    SpikeSchedule,
+    StepLatency,
+    TraceLatency,
+    UniformJitterLatency,
+)
+from repro.net.link import DeliveryRecord, Link, LossyLink
+from repro.net.multicast import MulticastGroup
+from repro.net.trace import (
+    NetworkTrace,
+    generate_figure11_trace,
+    load_trace_csv,
+    one_way_models_from_trace,
+    save_trace_csv,
+)
+
+__all__ = [
+    "CloudLatencyModel",
+    "CompositeLatency",
+    "ConstantLatency",
+    "LatencyModel",
+    "NormalJitterLatency",
+    "ScaledLatency",
+    "ShiftedLatency",
+    "SpikeSchedule",
+    "StepLatency",
+    "TraceLatency",
+    "UniformJitterLatency",
+    "DeliveryRecord",
+    "Link",
+    "LossyLink",
+    "MulticastGroup",
+    "NetworkTrace",
+    "generate_figure11_trace",
+    "load_trace_csv",
+    "one_way_models_from_trace",
+    "save_trace_csv",
+]

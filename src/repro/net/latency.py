@@ -1,0 +1,379 @@
+"""Time-indexed network latency models.
+
+The paper's problem setting is a network whose latency is *unpredictable
+and unbounded* (§1-§3).  Its cloud measurements (Figure 11) show a
+characteristic shape: a stable base latency with small jitter, punctuated
+by rare spikes up to ~20x the base that decay over hundreds of
+microseconds, plus strong *temporal correlation* over short horizons
+(§4.1.1 Remark, §6.3.2).
+
+Every model here implements ``latency_at(t)`` — the one-way latency a
+packet *sent at true time t* experiences — as a deterministic function of
+``(seed, t)``.  Determinism buys two things:
+
+1. Reproducible experiments (same seed, same run).
+2. The Max-RTT bound of Theorem 3 can be evaluated for *hypothetical*
+   packets (the paper computes the bound from the same trace as the DBO
+   run; we do the equivalent by re-querying the model).
+
+FIFO (in-order) delivery is *not* a property of these models; it is
+enforced by :class:`repro.net.link.Link`, matching the paper's in-order
+delivery assumption (§3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from repro.sim.randomness import stable_exponential, stable_u64, stable_unit
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformJitterLatency",
+    "NormalJitterLatency",
+    "SpikeSchedule",
+    "CloudLatencyModel",
+    "TraceLatency",
+    "ShiftedLatency",
+    "ScaledLatency",
+    "CompositeLatency",
+    "StepLatency",
+]
+
+
+class LatencyModel:
+    """Interface: one-way latency for a packet sent at true time ``t``."""
+
+    def latency_at(self, t: float) -> float:
+        """Latency (microseconds) experienced by a packet sent at ``t``."""
+        raise NotImplementedError
+
+    def mean_estimate(self) -> float:
+        """A cheap analytic estimate of the mean latency (for reports)."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def shifted(self, delta: float) -> "ShiftedLatency":
+        """This model plus a constant offset."""
+        return ShiftedLatency(self, delta)
+
+    def scaled(self, factor: float) -> "ScaledLatency":
+        """This model multiplied by a constant factor (e.g. 0.5 to halve RTTs,
+        as the paper does when deriving one-way latencies in §6.4)."""
+        return ScaledLatency(self, factor)
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed latency — the idealized equal-latency on-premise network."""
+
+    def __init__(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = float(latency)
+
+    def latency_at(self, t: float) -> float:
+        return self.latency
+
+    def mean_estimate(self) -> float:
+        return self.latency
+
+
+class UniformJitterLatency(LatencyModel):
+    """Base latency plus uniform jitter in ``[0, jitter)``.
+
+    Jitter is sampled per *microsecond-resolution send slot* so that two
+    packets sent very close together see correlated latency (preserving
+    the FIFO-friendliness of real networks), while packets sent far apart
+    are independent.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        jitter: float,
+        seed: int = 0,
+        slot: float = 1.0,
+    ) -> None:
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be non-negative")
+        if slot <= 0:
+            raise ValueError("slot must be positive")
+        self.base = float(base)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.slot = float(slot)
+
+    def latency_at(self, t: float) -> float:
+        index = int(math.floor(t / self.slot))
+        return self.base + self.jitter * stable_unit(self.seed, index)
+
+    def mean_estimate(self) -> float:
+        return self.base + self.jitter / 2.0
+
+
+class NormalJitterLatency(LatencyModel):
+    """Base latency plus half-normal jitter (never below ``base``).
+
+    Matches the right-skewed body of datacenter latency distributions; the
+    half-normal keeps the minimum pinned at the propagation delay.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        sigma: float,
+        seed: int = 0,
+        slot: float = 1.0,
+    ) -> None:
+        if base < 0 or sigma < 0:
+            raise ValueError("base and sigma must be non-negative")
+        self.base = float(base)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self.slot = float(slot)
+
+    def latency_at(self, t: float) -> float:
+        index = int(math.floor(t / self.slot))
+        u1 = max(stable_unit(self.seed, index, 0), 1e-12)
+        u2 = stable_unit(self.seed, index, 1)
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return self.base + self.sigma * abs(z)
+
+    def mean_estimate(self) -> float:
+        return self.base + self.sigma * math.sqrt(2.0 / math.pi)
+
+
+class SpikeSchedule:
+    """Deterministic schedule of latency spikes with exponential decay.
+
+    Spike arrivals form a Poisson process (inter-arrival times drawn with
+    the stable RNG, materialized lazily per horizon window), each spike
+    has an amplitude and decays with time constant ``decay``.  The
+    contribution at time ``t`` is the sum over recent spikes of
+    ``amplitude * exp(-(t - start) / decay)`` — reproducing the sawtooth
+    spikes of Figure 11.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        amplitude_mean: float,
+        decay: float,
+        seed: int = 0,
+        amplitude_max_factor: float = 3.0,
+    ) -> None:
+        if rate_per_second < 0:
+            raise ValueError("rate must be non-negative")
+        if decay <= 0:
+            raise ValueError("decay must be positive")
+        self.rate_per_second = float(rate_per_second)
+        self.amplitude_mean = float(amplitude_mean)
+        self.decay = float(decay)
+        self.seed = int(seed)
+        self.amplitude_max_factor = float(amplitude_max_factor)
+        self._spikes: List[Tuple[float, float]] = []  # (start, amplitude)
+        self._materialized_until = 0.0
+
+    def _materialize(self, until: float) -> None:
+        """Extend the spike list to cover ``[0, until]`` deterministically."""
+        if self.rate_per_second == 0.0:
+            self._materialized_until = until
+            return
+        mean_gap = 1e6 / self.rate_per_second  # microseconds between spikes
+        index = len(self._spikes)
+        t = self._spikes[-1][0] if self._spikes else 0.0
+        while t <= until + 4.0 * self.decay:
+            gap = stable_exponential(mean_gap, self.seed, index, 0)
+            t += max(gap, 1.0)
+            amplitude = stable_exponential(self.amplitude_mean, self.seed, index, 1)
+            amplitude = min(amplitude, self.amplitude_max_factor * self.amplitude_mean)
+            self._spikes.append((t, amplitude))
+            index += 1
+        self._materialized_until = until
+
+    def contribution_at(self, t: float) -> float:
+        """Total spike-induced extra latency at time ``t``."""
+        if t < 0:
+            return 0.0
+        if t > self._materialized_until:
+            self._materialize(t)
+        total = 0.0
+        # Only spikes within ~12 decay constants matter (exp(-12) ≈ 6e-6).
+        start_index = bisect.bisect_left(self._spikes, (t - 12.0 * self.decay, -1.0))
+        for spike_start, amplitude in self._spikes[start_index:]:
+            if spike_start > t:
+                break
+            total += amplitude * math.exp(-(t - spike_start) / self.decay)
+        return total
+
+
+class CloudLatencyModel(LatencyModel):
+    """The cloud network of Figure 11: base + jitter + decaying spikes.
+
+    Defaults are calibrated to the paper's Azure measurements: ~27 µs
+    one-way base (Table 3 Direct p50 ≈ 27.5 µs is one data-delivery plus
+    one trade leg), small jitter, and rare spikes reaching several hundred
+    microseconds that drain over ~10 ms (Figure 11 shows ~600 µs peaks
+    roughly every 250 ms).
+    """
+
+    def __init__(
+        self,
+        base: float = 13.5,
+        jitter: float = 1.5,
+        spike_rate_per_second: float = 4.0,
+        spike_amplitude_mean: float = 150.0,
+        spike_decay: float = 8000.0,
+        seed: int = 0,
+        slot: float = 1.0,
+    ) -> None:
+        self.base_model = UniformJitterLatency(base, jitter, seed=seed, slot=slot)
+        self.spikes = SpikeSchedule(
+            rate_per_second=spike_rate_per_second,
+            amplitude_mean=spike_amplitude_mean,
+            decay=spike_decay,
+            seed=stable_u64(seed, 0xC10D),
+        )
+
+    def latency_at(self, t: float) -> float:
+        return self.base_model.latency_at(t) + self.spikes.contribution_at(t)
+
+    def mean_estimate(self) -> float:
+        spike_mean = (
+            self.spikes.rate_per_second
+            * self.spikes.amplitude_mean
+            * self.spikes.decay
+            / 1e6
+        )
+        return self.base_model.mean_estimate() + spike_mean
+
+
+class TraceLatency(LatencyModel):
+    """Latency replayed from a recorded (or synthesized) trace.
+
+    This is the paper's §6.4 methodology: "We use a network trace of round
+    trip times ... The one-way latencies between CES and each RB are
+    calculated by taking random slices of the network trace and halving
+    the RTTs."  ``offset`` implements the random slice; ``scale=0.5``
+    implements the halving.  The trace wraps around cyclically.
+
+    Parameters
+    ----------
+    times:
+        Monotonically increasing sample times, microseconds.
+    values:
+        Latency at each sample time, microseconds.
+    offset:
+        Slice offset into the trace (the packet sent at ``t`` sees the
+        trace at ``offset + t``).
+    scale:
+        Multiplier applied to trace values (0.5 turns RTT into one-way).
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        values: Sequence[float],
+        offset: float = 0.0,
+        scale: float = 1.0,
+    ) -> None:
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        if len(times) < 2:
+            raise ValueError("a trace needs at least two samples")
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ValueError("trace times must be strictly increasing")
+        self.times = [float(x) for x in times]
+        self.values = [float(x) for x in values]
+        self.offset = float(offset)
+        self.scale = float(scale)
+        self._span = self.times[-1] - self.times[0]
+
+    def latency_at(self, t: float) -> float:
+        position = self.times[0] + ((t + self.offset - self.times[0]) % self._span)
+        index = bisect.bisect_right(self.times, position) - 1
+        index = max(0, min(index, len(self.times) - 2))
+        t0, t1 = self.times[index], self.times[index + 1]
+        v0, v1 = self.values[index], self.values[index + 1]
+        fraction = (position - t0) / (t1 - t0)
+        return self.scale * (v0 + fraction * (v1 - v0))
+
+    def mean_estimate(self) -> float:
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            width = self.times[i + 1] - self.times[i]
+            total += width * (self.values[i] + self.values[i + 1]) / 2.0
+        return self.scale * total / self._span
+
+
+class ShiftedLatency(LatencyModel):
+    """A wrapped model plus a constant shift (models path-length asymmetry)."""
+
+    def __init__(self, inner: LatencyModel, delta: float) -> None:
+        self.inner = inner
+        self.delta = float(delta)
+
+    def latency_at(self, t: float) -> float:
+        return max(0.0, self.inner.latency_at(t) + self.delta)
+
+    def mean_estimate(self) -> float:
+        return max(0.0, self.inner.mean_estimate() + self.delta)
+
+
+class ScaledLatency(LatencyModel):
+    """A wrapped model times a constant factor (e.g. RTT → one-way)."""
+
+    def __init__(self, inner: LatencyModel, factor: float) -> None:
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def latency_at(self, t: float) -> float:
+        return self.factor * self.inner.latency_at(t)
+
+    def mean_estimate(self) -> float:
+        return self.factor * self.inner.mean_estimate()
+
+
+class CompositeLatency(LatencyModel):
+    """Sum of several latency models (base path + cross-traffic + spikes)."""
+
+    def __init__(self, components: Sequence[LatencyModel]) -> None:
+        if not components:
+            raise ValueError("need at least one component")
+        self.components = list(components)
+
+    def latency_at(self, t: float) -> float:
+        return sum(component.latency_at(t) for component in self.components)
+
+    def mean_estimate(self) -> float:
+        return sum(component.mean_estimate() for component in self.components)
+
+
+class StepLatency(LatencyModel):
+    """Piecewise-constant latency — precise control for unit tests.
+
+    ``steps`` is a list of ``(start_time, latency)`` pairs sorted by start
+    time; the latency before the first start is the first value.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        starts = [s for s, _ in steps]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("step starts must be strictly increasing")
+        self.steps = [(float(s), float(v)) for s, v in steps]
+
+    def latency_at(self, t: float) -> float:
+        index = bisect.bisect_right(self.steps, (t, float("inf"))) - 1
+        index = max(index, 0)
+        return self.steps[index][1]
+
+    def mean_estimate(self) -> float:
+        return sum(v for _, v in self.steps) / len(self.steps)

@@ -1,0 +1,214 @@
+"""Simulated network links with FIFO delivery and lossy variants.
+
+The paper's network assumptions (§3):
+
+* latency is unpredictable and potentially unbounded;
+* packets that are not dropped are delivered **in order**;
+* losses are handled out-of-band: the receiver requests retransmission
+  over a slower path, and the system accepts the resulting unfairness for
+  the affected trades (Appendix D).
+
+:class:`Link` enforces in-order delivery on top of an arbitrary
+:class:`~repro.net.latency.LatencyModel` by clamping each arrival to be no
+earlier than the previous arrival.  :class:`LossyLink` adds deterministic,
+seeded packet loss with the out-of-band recovery path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.net.latency import LatencyModel
+from repro.sim.engine import EventEngine
+from repro.sim.randomness import stable_bool
+
+__all__ = ["Link", "LossyLink", "DeliveryRecord"]
+
+# A delivery handler receives (message, send_time, arrival_time).
+DeliveryHandler = Callable[[Any, float, float], None]
+
+
+@dataclass
+class DeliveryRecord:
+    """Book-keeping for one packet traversal (used by metrics and tests)."""
+
+    message: Any
+    send_time: float
+    arrival_time: float
+    raw_latency: float
+    fifo_clamped: bool
+    lost: bool = False
+    recovered_at: Optional[float] = None
+
+
+class Link:
+    """A unidirectional FIFO link between two components.
+
+    Parameters
+    ----------
+    engine:
+        The event engine that schedules deliveries.
+    latency_model:
+        One-way latency as a function of send time.
+    handler:
+        Called as ``handler(message, send_time, arrival_time)`` on
+        delivery.  May be set after construction via :meth:`connect`.
+    name:
+        Optional label for diagnostics.
+    record:
+        When true, keeps a :class:`DeliveryRecord` per packet (tests and
+        metric computation); large experiments leave it off.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        latency_model: LatencyModel,
+        handler: Optional[DeliveryHandler] = None,
+        name: str = "link",
+        record: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.latency_model = latency_model
+        self.handler = handler
+        self.name = name
+        self.record = record
+        self.records: List[DeliveryRecord] = []
+        self._last_arrival = float("-inf")
+        self._sent = 0
+        self._delivered = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, handler: DeliveryHandler) -> None:
+        """Attach the receive handler (components are built before wiring)."""
+        self.handler = handler
+
+    @property
+    def packets_sent(self) -> int:
+        return self._sent
+
+    @property
+    def packets_delivered(self) -> int:
+        return self._delivered
+
+    # ------------------------------------------------------------------
+    def arrival_time_for(self, send_time: float) -> float:
+        """Arrival time a packet sent at ``send_time`` *would* see.
+
+        Pure query — does not mutate FIFO state.  Used by the Max-RTT
+        bound computation (Theorem 3) for hypothetical packets.
+        """
+        return send_time + self.latency_model.latency_at(send_time)
+
+    def send(self, message: Any, send_time: Optional[float] = None) -> float:
+        """Send ``message``; returns the scheduled arrival time.
+
+        ``send_time`` defaults to the engine's current time.  In-order
+        delivery is enforced: the arrival is clamped to be at or after the
+        previous packet's arrival.
+        """
+        if self.handler is None:
+            raise RuntimeError(f"link {self.name!r} has no receive handler")
+        t_send = self.engine.now if send_time is None else send_time
+        raw = self.latency_model.latency_at(t_send)
+        arrival = t_send + raw
+        clamped = arrival < self._last_arrival
+        if clamped:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        self._sent += 1
+        if self.record:
+            self.records.append(
+                DeliveryRecord(
+                    message=message,
+                    send_time=t_send,
+                    arrival_time=arrival,
+                    raw_latency=raw,
+                    fifo_clamped=clamped,
+                )
+            )
+
+        def deliver(message=message, t_send=t_send, arrival=arrival) -> None:
+            self._delivered += 1
+            self.handler(message, t_send, arrival)
+
+        self.engine.schedule_at(arrival, deliver, priority=0)
+        return arrival
+
+
+class LossyLink(Link):
+    """A FIFO link that drops packets and recovers them out-of-band.
+
+    Matching Appendix D, a dropped packet is not simply lost: the receiver
+    notices and requests retransmission over a slower path, so the message
+    eventually arrives after ``recovery_delay`` extra microseconds.  The
+    delivery handler receives a ``lost`` keyword through the optional
+    ``loss_handler`` channel so receivers (e.g. the release buffer) can
+    apply the paper's rule that retransmitted data does not advance the
+    delivery clock.
+
+    Loss decisions are a deterministic function of ``(seed, packet_index)``
+    so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        latency_model: LatencyModel,
+        loss_probability: float = 0.0,
+        recovery_delay: float = 1000.0,
+        seed: int = 0,
+        handler: Optional[DeliveryHandler] = None,
+        loss_handler: Optional[DeliveryHandler] = None,
+        name: str = "lossy-link",
+        record: bool = False,
+    ) -> None:
+        super().__init__(engine, latency_model, handler=handler, name=name, record=record)
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if recovery_delay < 0:
+            raise ValueError("recovery_delay must be non-negative")
+        self.loss_probability = loss_probability
+        self.recovery_delay = recovery_delay
+        self.seed = seed
+        self.loss_handler = loss_handler
+        self._packet_index = 0
+        self._losses = 0
+
+    @property
+    def packets_lost(self) -> int:
+        return self._losses
+
+    def send(self, message: Any, send_time: Optional[float] = None) -> float:
+        index = self._packet_index
+        self._packet_index += 1
+        t_send = self.engine.now if send_time is None else send_time
+        if self.loss_probability and stable_bool(self.loss_probability, self.seed, index):
+            # Out-of-band recovery: the message arrives late via the slow
+            # path; FIFO state is not advanced for it (it is out-of-band).
+            self._losses += 1
+            raw = self.latency_model.latency_at(t_send)
+            recovered = t_send + raw + self.recovery_delay
+            target = self.loss_handler or self.handler
+            if target is None:
+                raise RuntimeError(f"link {self.name!r} has no receive handler")
+            if self.record:
+                self.records.append(
+                    DeliveryRecord(
+                        message=message,
+                        send_time=t_send,
+                        arrival_time=recovered,
+                        raw_latency=raw,
+                        fifo_clamped=False,
+                        lost=True,
+                        recovered_at=recovered,
+                    )
+                )
+
+            def deliver_recovered(message=message, t_send=t_send, recovered=recovered) -> None:
+                target(message, t_send, recovered)
+
+            self.engine.schedule_at(recovered, deliver_recovered, priority=0)
+            return recovered
+        return super().send(message, send_time=send_time)

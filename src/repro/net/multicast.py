@@ -1,0 +1,79 @@
+"""Multicast fan-out for market-data distribution.
+
+Cloud datacenters do not offer in-network multicast (§5.2), so the CES
+unicasts its market-data stream to every release buffer over independent
+links, each with its own latency process — which is exactly the source of
+the unfairness DBO corrects.  :class:`MulticastGroup` bundles the per-
+destination links behind a single ``publish`` call and exposes per-
+destination delivery accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.net.link import Link
+
+__all__ = ["MulticastGroup"]
+
+
+class MulticastGroup:
+    """A named set of unicast links sharing a publisher.
+
+    Examples
+    --------
+    >>> from repro.sim import EventEngine
+    >>> from repro.net.latency import ConstantLatency
+    >>> engine = EventEngine()
+    >>> group = MulticastGroup()
+    >>> got = []
+    >>> link = Link(engine, ConstantLatency(5.0),
+    ...             handler=lambda m, s, a: got.append((m, a)))
+    >>> group.add_member("mp0", link)
+    >>> _ = group.publish("tick")
+    >>> engine.run()
+    >>> got
+    [('tick', 5.0)]
+    """
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Link] = {}
+        self._published = 0
+
+    def add_member(self, member_id: str, link: Link) -> None:
+        """Register a destination; ``member_id`` must be unique."""
+        if member_id in self._members:
+            raise ValueError(f"duplicate multicast member: {member_id!r}")
+        self._members[member_id] = link
+
+    def remove_member(self, member_id: str) -> None:
+        """Remove a destination (e.g. a crashed participant)."""
+        if member_id not in self._members:
+            raise KeyError(member_id)
+        del self._members[member_id]
+
+    @property
+    def member_ids(self) -> List[str]:
+        return list(self._members)
+
+    @property
+    def messages_published(self) -> int:
+        return self._published
+
+    def link_for(self, member_id: str) -> Link:
+        """The unicast link serving one member."""
+        return self._members[member_id]
+
+    def publish(self, message: Any, send_time: Optional[float] = None) -> Dict[str, float]:
+        """Send ``message`` on every member link.
+
+        Returns the scheduled arrival time per member — the raw
+        ``D(i, x)`` values before any release-buffer pacing.
+        """
+        if not self._members:
+            raise RuntimeError("multicast group has no members")
+        self._published += 1
+        return {
+            member_id: link.send(message, send_time=send_time)
+            for member_id, link in self._members.items()
+        }

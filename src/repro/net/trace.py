@@ -1,0 +1,181 @@
+"""Network trace tooling: the Figure 11 trace and trace-driven models.
+
+Figure 11 of the paper shows the round-trip latency between the CES and
+one release buffer in the Azure deployment over two seconds: a flat band
+around 55 µs RTT (~27 µs one-way) with a handful of spikes reaching
+~600 µs that decay roughly linearly over several milliseconds.  §6.4 uses
+that trace to drive the simulations: "one-way latencies between CES and
+each RB are calculated by taking random slices of the network trace and
+halving the RTTs."
+
+We cannot ship the authors' pcap, so :func:`generate_figure11_trace`
+synthesizes a trace with the same statistical signature (base level,
+spike height, spike frequency, decay profile), and
+:func:`one_way_models_from_trace` reproduces the slice-and-halve recipe.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.latency import LatencyModel, TraceLatency
+from repro.sim.randomness import SubstreamCounter, stable_uniform
+
+__all__ = [
+    "NetworkTrace",
+    "generate_figure11_trace",
+    "one_way_models_from_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+]
+
+
+@dataclass
+class NetworkTrace:
+    """A sampled latency time series (RTTs, microseconds)."""
+
+    times: List[float]
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        if len(self.times) < 2:
+            raise ValueError("a trace needs at least two samples")
+
+    @property
+    def duration(self) -> float:
+        """Trace span in microseconds."""
+        return self.times[-1] - self.times[0]
+
+    def max_value(self) -> float:
+        return max(self.values)
+
+    def min_value(self) -> float:
+        return min(self.values)
+
+    def mean_value(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Simple nearest-rank percentile of the sampled values."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def to_model(self, offset: float = 0.0, scale: float = 1.0) -> TraceLatency:
+        """Wrap this trace in a cyclic, interpolating latency model."""
+        return TraceLatency(self.times, self.values, offset=offset, scale=scale)
+
+
+def generate_figure11_trace(
+    duration: float = 2_000_000.0,
+    sample_interval: float = 100.0,
+    base_rtt: float = 55.0,
+    jitter: float = 4.0,
+    spike_count: int = 7,
+    spike_height_range: Tuple[float, float] = (150.0, 620.0),
+    spike_decay: float = 600.0,
+    seed: int = 2023,
+) -> NetworkTrace:
+    """Synthesize an RTT trace shaped like the paper's Figure 11.
+
+    Parameters mirror the visual features of the figure: a two-second
+    window, a ~55 µs RTT floor, and about seven spikes whose peaks range
+    up to ~600 µs and decay over several milliseconds.
+
+    Returns
+    -------
+    NetworkTrace
+        RTT samples at ``sample_interval`` spacing.
+    """
+    if duration <= 0 or sample_interval <= 0:
+        raise ValueError("duration and sample_interval must be positive")
+    if spike_count < 0:
+        raise ValueError("spike_count must be non-negative")
+
+    stream = SubstreamCounter(seed, stream_id=11)
+    # Spread spikes quasi-evenly with jittered positions, as in the figure.
+    spikes: List[Tuple[float, float]] = []
+    for index in range(spike_count):
+        slot_start = duration * index / max(spike_count, 1)
+        slot_end = duration * (index + 1) / max(spike_count, 1)
+        start = stream.next_uniform(slot_start, slot_start + 0.6 * (slot_end - slot_start))
+        height = stream.next_uniform(*spike_height_range)
+        spikes.append((start, height))
+
+    times: List[float] = []
+    values: List[float] = []
+    sample_count = int(duration / sample_interval) + 1
+    for i in range(sample_count):
+        t = i * sample_interval
+        value = base_rtt + jitter * stable_uniform(0.0, 1.0, seed, i)
+        for spike_start, height in spikes:
+            if t >= spike_start:
+                age = t - spike_start
+                # Linear-ish decay profile (the figure's spikes drain
+                # roughly linearly): a clipped linear ramp down.
+                remaining = max(0.0, 1.0 - age / (4.0 * spike_decay))
+                value += height * remaining * (1.0 if age < spike_decay else remaining)
+        times.append(t)
+        values.append(value)
+    return NetworkTrace(times, values)
+
+
+def one_way_models_from_trace(
+    trace: NetworkTrace,
+    n_participants: int,
+    seed: int = 0,
+) -> List[Tuple[LatencyModel, LatencyModel]]:
+    """The paper's §6.4 recipe: random slices of the trace, halved.
+
+    For each participant, draws two independent random offsets into the
+    trace (forward and reverse path) and returns ``(forward, reverse)``
+    one-way models with ``scale=0.5``.
+
+    Returns
+    -------
+    list of (forward_model, reverse_model) pairs, one per participant.
+    """
+    if n_participants <= 0:
+        raise ValueError("n_participants must be positive")
+    stream = SubstreamCounter(seed, stream_id=64)
+    models: List[Tuple[LatencyModel, LatencyModel]] = []
+    for _ in range(n_participants):
+        forward_offset = stream.next_uniform(0.0, trace.duration)
+        reverse_offset = stream.next_uniform(0.0, trace.duration)
+        forward = trace.to_model(offset=forward_offset, scale=0.5)
+        reverse = trace.to_model(offset=reverse_offset, scale=0.5)
+        models.append((forward, reverse))
+    return models
+
+
+def save_trace_csv(trace: NetworkTrace, path: str) -> None:
+    """Persist a trace as a two-column CSV (time_us, rtt_us)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_us", "rtt_us"])
+        for t, v in zip(trace.times, trace.values):
+            writer.writerow([f"{t:.3f}", f"{v:.3f}"])
+
+
+def load_trace_csv(path: str) -> NetworkTrace:
+    """Load a trace saved by :func:`save_trace_csv`."""
+    times: List[float] = []
+    values: List[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"empty trace file: {path}")
+        for row in reader:
+            if len(row) != 2:
+                raise ValueError(f"malformed trace row: {row!r}")
+            times.append(float(row[0]))
+            values.append(float(row[1]))
+    return NetworkTrace(times, values)

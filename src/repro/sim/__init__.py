@@ -1,0 +1,44 @@
+"""Simulation substrate: event engine, clocks, deterministic randomness."""
+
+from repro.sim.clocks import (
+    Clock,
+    DriftingClock,
+    PerfectClock,
+    SynchronizedClock,
+    make_clock,
+)
+from repro.sim.engine import EventEngine, ScheduledEvent, SimulationError
+from repro.sim.service import ServiceQueue
+from repro.sim.telemetry import Probe, TelemetryRecorder
+from repro.sim.randomness import (
+    SubstreamCounter,
+    splitmix64,
+    stable_bool,
+    stable_exponential,
+    stable_normal,
+    stable_u64,
+    stable_uniform,
+    stable_unit,
+)
+
+__all__ = [
+    "Clock",
+    "DriftingClock",
+    "PerfectClock",
+    "SynchronizedClock",
+    "make_clock",
+    "EventEngine",
+    "ScheduledEvent",
+    "SimulationError",
+    "ServiceQueue",
+    "Probe",
+    "TelemetryRecorder",
+    "SubstreamCounter",
+    "splitmix64",
+    "stable_bool",
+    "stable_exponential",
+    "stable_normal",
+    "stable_u64",
+    "stable_uniform",
+    "stable_unit",
+]

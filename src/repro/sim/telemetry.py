@@ -1,0 +1,125 @@
+"""Telemetry probes: periodic time-series sampling of component state.
+
+The paper's tail-latency analysis (§6.3's p9999 discussion) came from
+watching internal queues over time — "we identified a well-aligned,
+periodic queue buildup at the OB".  This module provides the equivalent
+instrument: a :class:`Probe` samples any callable on a fixed cadence and
+stores ``(time, value)`` pairs; :class:`TelemetryRecorder` bundles probes
+and renders/summarizes them.
+
+Probes are observation-only: sampling must not mutate the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import EventEngine
+
+__all__ = ["Probe", "TelemetryRecorder"]
+
+
+class Probe:
+    """Samples ``sampler()`` every ``interval`` µs.
+
+    Parameters
+    ----------
+    engine:
+        Event engine.
+    name:
+        Series label.
+    sampler:
+        Zero-argument callable returning a float-like value.
+    interval:
+        Sampling period in µs.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        name: str,
+        sampler: Callable[[], float],
+        interval: float,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.name = name
+        self.sampler = sampler
+        self.interval = float(interval)
+        self.samples: List[Tuple[float, float]] = []
+        self._started = False
+        self._stop_time: Optional[float] = None
+
+    def start(self, start_time: float = 0.0, stop_time: Optional[float] = None) -> None:
+        if self._started:
+            raise RuntimeError("probe already started")
+        self._started = True
+        self._stop_time = stop_time
+        self.engine.schedule_at(start_time, self._sample, priority=9)
+
+    def _sample(self) -> None:
+        now = self.engine.now
+        if self._stop_time is not None and now > self._stop_time:
+            return
+        self.samples.append((now, float(self.sampler())))
+        self.engine.schedule_after(self.interval, self._sample, priority=9)
+
+    # ------------------------------------------------------------------
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def maximum(self) -> float:
+        if not self.samples:
+            raise ValueError(f"probe {self.name!r} has no samples")
+        return max(self.values())
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"probe {self.name!r} has no samples")
+        return sum(values) / len(values)
+
+    def time_above(self, threshold: float) -> float:
+        """Total sampled time (µs) the value exceeded ``threshold``."""
+        total = 0.0
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            if v0 > threshold:
+                total += t1 - t0
+        return total
+
+
+class TelemetryRecorder:
+    """A bundle of probes with shared cadence and rendering."""
+
+    def __init__(self, engine: EventEngine, interval: float = 100.0) -> None:
+        self.engine = engine
+        self.interval = float(interval)
+        self.probes: Dict[str, Probe] = {}
+
+    def add(self, name: str, sampler: Callable[[], float]) -> Probe:
+        """Register a probe; names must be unique."""
+        if name in self.probes:
+            raise ValueError(f"duplicate probe name {name!r}")
+        probe = Probe(self.engine, name, sampler, self.interval)
+        self.probes[name] = probe
+        return probe
+
+    def start_all(self, start_time: float = 0.0, stop_time: Optional[float] = None) -> None:
+        for probe in self.probes.values():
+            probe.start(start_time=start_time, stop_time=stop_time)
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """All probes' samples, ready for ``ascii_plot``."""
+        return {name: list(probe.samples) for name, probe in self.probes.items()}
+
+    def summary_rows(self) -> List[List[object]]:
+        """``[name, samples, mean, max]`` per probe (for render_table)."""
+        rows: List[List[object]] = []
+        for name, probe in self.probes.items():
+            if probe.samples:
+                rows.append([name, len(probe.samples), probe.mean(), probe.maximum()])
+            else:
+                rows.append([name, 0, float("nan"), float("nan")])
+        return rows

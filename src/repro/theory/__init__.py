@@ -1,0 +1,46 @@
+"""Executable theory: fairness definitions, impossibility constructions,
+latency bounds."""
+
+from repro.theory.bounds import (
+    Lemma2Scenario,
+    corollary1_condition_holds,
+    lemma2_counterexample,
+    theorem3_lmin,
+    theorem4_pair_guaranteed,
+)
+from repro.theory.model_check import (
+    Message,
+    ModelCheckResult,
+    check_ordering_buffer,
+    enumerate_interleavings,
+)
+from repro.theory.lamport import (
+    LamportClock,
+    RaceOutcome,
+    lamport_race_counterexample,
+)
+from repro.theory.fairness_defs import (
+    FairnessViolation,
+    causality_condition_violations,
+    lrtf_violations,
+    response_time_fairness_violations,
+)
+
+__all__ = [
+    "Lemma2Scenario",
+    "corollary1_condition_holds",
+    "lemma2_counterexample",
+    "theorem3_lmin",
+    "theorem4_pair_guaranteed",
+    "Message",
+    "ModelCheckResult",
+    "check_ordering_buffer",
+    "enumerate_interleavings",
+    "LamportClock",
+    "RaceOutcome",
+    "lamport_race_counterexample",
+    "FairnessViolation",
+    "causality_condition_violations",
+    "lrtf_violations",
+    "response_time_fairness_violations",
+]

@@ -1,0 +1,140 @@
+"""Lamport clocks, and why they cannot order speed races (§4.1.1).
+
+The paper contrasts delivery clocks with traditional logical clocks:
+
+    "While these clocks can track causality of events, they cannot be
+    used to achieve response time fairness.  In particular, these clocks
+    don't say anything about how two competing trades generated using
+    the same market data should be ordered as these two trades have no
+    direct causality relation.  Unlike delivery clocks, such logical
+    clocks also have no notion of measuring time between occurrences of
+    two events."
+
+This module makes the contrast executable: a standard
+:class:`LamportClock`, and :func:`lamport_race_counterexample`, which
+builds a two-participant speed race where the *slower* responder's trade
+carries the *smaller* Lamport timestamp (because Lamport time advances
+with event counts, not elapsed time), while delivery clocks order the
+same race correctly.  The test suite asserts both facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
+
+__all__ = ["LamportClock", "RaceOutcome", "lamport_race_counterexample"]
+
+
+class LamportClock:
+    """A classic Lamport logical clock.
+
+    * ``tick()`` before every local event;
+    * ``send()`` ticks and returns the timestamp to piggyback;
+    * ``receive(ts)`` merges an incoming timestamp (max + 1).
+    """
+
+    def __init__(self) -> None:
+        self._time = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def tick(self) -> int:
+        self._time += 1
+        return self._time
+
+    def send(self) -> int:
+        return self.tick()
+
+    def receive(self, timestamp: int) -> int:
+        self._time = max(self._time, timestamp) + 1
+        return self._time
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """Timestamps produced by the two clock disciplines for one race."""
+
+    fast_mp: str
+    slow_mp: str
+    fast_response_time: float
+    slow_response_time: float
+    lamport_fast: int
+    lamport_slow: int
+    delivery_fast: DeliveryClockStamp
+    delivery_slow: DeliveryClockStamp
+
+    @property
+    def lamport_orders_correctly(self) -> bool:
+        """Does Lamport time put the faster trade first?"""
+        return self.lamport_fast < self.lamport_slow
+
+    @property
+    def delivery_orders_correctly(self) -> bool:
+        return self.delivery_fast < self.delivery_slow
+
+
+def lamport_race_counterexample(
+    data_generation_time: float = 100.0,
+    fast_response_time: float = 5.0,
+    slow_response_time: float = 15.0,
+    slow_mp_busy_events: int = 3,
+) -> RaceOutcome:
+    """A race where Lamport clocks order the *slower* trade first.
+
+    Both participants receive data point 0 (sent with the CES's Lamport
+    timestamp).  The fast participant runs a few unrelated local events
+    (bookkeeping, risk checks — each ticks its Lamport clock) before
+    responding in 5 µs; the slow participant responds in 15 µs but does
+    nothing else.  Lamport time counts events, so the fast trade carries
+    the *larger* timestamp and would be ordered second, while delivery
+    clocks — which measure elapsed time since delivery — order the race
+    correctly.
+
+    ``slow_mp_busy_events`` actually configures the *fast* participant's
+    extra local events (the knob that fools Lamport); it must be ≥ 1.
+    """
+    if fast_response_time >= slow_response_time:
+        raise ValueError("need fast_response_time < slow_response_time")
+    if slow_mp_busy_events < 1:
+        raise ValueError("need at least one extra local event")
+
+    ces = LamportClock()
+    fast_lamport = LamportClock()
+    slow_lamport = LamportClock()
+    fast_delivery = DeliveryClock()
+    slow_delivery = DeliveryClock()
+
+    # CES generates and multicasts data point 0.
+    data_ts = ces.send()
+    delivery_time = data_generation_time + 10.0  # symmetric network here
+
+    # Both participants receive it (equal delivery for a clean contrast).
+    fast_lamport.receive(data_ts)
+    slow_lamport.receive(data_ts)
+    fast_delivery.on_delivery(0, delivery_time)
+    slow_delivery.on_delivery(0, delivery_time)
+
+    # The fast participant performs unrelated local work (each event
+    # ticks its Lamport clock), then responds quickly.
+    for _ in range(slow_mp_busy_events):
+        fast_lamport.tick()
+    lamport_fast = fast_lamport.send()
+    delivery_fast = fast_delivery.read(delivery_time + fast_response_time)
+
+    # The slow participant just thinks longer, with no local events.
+    lamport_slow = slow_lamport.send()
+    delivery_slow = slow_delivery.read(delivery_time + slow_response_time)
+
+    return RaceOutcome(
+        fast_mp="fast",
+        slow_mp="slow",
+        fast_response_time=fast_response_time,
+        slow_response_time=slow_response_time,
+        lamport_fast=lamport_fast,
+        lamport_slow=lamport_slow,
+        delivery_fast=delivery_fast,
+        delivery_slow=delivery_slow,
+    )

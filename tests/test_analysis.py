@@ -1,0 +1,140 @@
+"""Tests for the analysis package: statistics and sweeps."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    MultiSeedResult,
+    aggregate_fairness,
+    aggregate_latency,
+    run_across_seeds,
+    summarize_samples,
+    wilson_interval,
+)
+from repro.analysis.sweep import sweep, sweep_table
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.experiments.scenarios import cloud_specs
+
+
+class TestWilson:
+    def test_degenerate_no_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(90, 100)
+        assert low < 0.9 < high
+
+    def test_perfect_ratio_interval_below_one(self):
+        low, high = wilson_interval(1000, 1000)
+        assert high == 1.0
+        assert 0.99 < low < 1.0  # informative even at p = 1
+
+    def test_narrows_with_trials(self):
+        low_small, high_small = wilson_interval(9, 10)
+        low_big, high_big = wilson_interval(900, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_confidence_levels(self):
+        l95, h95 = wilson_interval(50, 100, confidence=0.95)
+        l99, h99 = wilson_interval(50, 100, confidence=0.99)
+        assert (h99 - l99) > (h95 - l95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.8)
+
+
+class TestSummarizeSamples:
+    def test_basic(self):
+        summary = summarize_samples([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.ci_low < 2.0 < summary.ci_high
+
+    def test_single_sample_zero_width(self):
+        summary = summarize_samples([5.0])
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(summarize_samples([]).mean)
+
+    def test_str(self):
+        assert "n=2" in str(summarize_samples([1.0, 2.0]))
+
+
+class TestMultiSeed:
+    @pytest.fixture(scope="class")
+    def multi(self):
+        def run(seed):
+            deployment = DBODeployment(cloud_specs(3, seed=12), seed=seed)
+            return deployment.run(duration=2000.0)
+
+        return run_across_seeds(run, seeds=[1, 2, 3])
+
+    def test_run_across_seeds_shapes(self, multi):
+        assert multi.seeds == [1, 2, 3]
+        assert len(multi.results) == 3
+
+    def test_aggregate_fairness_pools_pairs(self, multi):
+        agg = aggregate_fairness(multi)
+        assert agg["ratio"] == 1.0
+        assert agg["pairs"] > 100
+        low, high = agg["ci"]
+        assert low < 1.0 <= high
+        assert set(agg["per_seed"]) == {1, 2, 3}
+
+    def test_aggregate_latency(self, multi):
+        summary = aggregate_latency(multi, statistic="avg")
+        assert summary.count == 3
+        assert summary.mean > 0
+
+    def test_aggregate_latency_unknown_statistic(self, multi):
+        with pytest.raises(ValueError):
+            aggregate_latency(multi, statistic="p42")
+
+    def test_misaligned_rejected(self, multi):
+        with pytest.raises(ValueError):
+            MultiSeedResult(seeds=[1], results=multi.results)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_across_seeds(lambda s: None, seeds=[])
+
+
+class TestSweep:
+    def test_grid_product(self):
+        rows = sweep(
+            scheme="dbo",
+            specs_factory=lambda: cloud_specs(2, seed=12),
+            duration=1500.0,
+            grid={
+                "params": [DBOParams(delta=10.0), DBOParams(delta=45.0)],
+                "seed": [1, 2],
+            },
+        )
+        assert len(rows) == 4
+        deltas = {row.config["params"].delta for row in rows}
+        assert deltas == {10.0, 45.0}
+
+    def test_sweep_table_renders(self):
+        rows = sweep(
+            scheme="direct",
+            specs_factory=lambda: cloud_specs(2, seed=12),
+            duration=1500.0,
+            grid={"seed": [1, 2]},
+        )
+        text = sweep_table(rows, title="demo")
+        assert "demo" in text
+        assert "fairness %" in text
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("dbo", lambda: cloud_specs(2), 1000.0, grid={})
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_table([])

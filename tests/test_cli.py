@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "dbo"
+        assert args.scenario == "cloud"
+        assert args.participants == 10
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "quantum"])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestRun:
+    def test_run_dbo_prints_digest(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "3",
+             "--duration", "3000", "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dbo" in out
+        assert "fairness" in out
+        assert "max-rtt" in out
+
+    def test_run_direct(self, capsys):
+        code = main(
+            ["run", "--scheme", "direct", "--participants", "3", "--duration", "3000"]
+        )
+        assert code == 0
+        assert "direct" in capsys.readouterr().out
+
+    def test_run_with_race_gap(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "3",
+             "--duration", "3000", "--race-gap", "0.1"]
+        )
+        assert code == 0
+        assert "100.00" in capsys.readouterr().out
+
+    def test_run_save_writes_json(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "2",
+             "--duration", "2000", "--save", path]
+        )
+        assert code == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["scheme"] == "dbo"
+        assert data["trades"]
+
+    def test_run_sync_assisted(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "2",
+             "--duration", "2000", "--sync-c1", "30"]
+        )
+        assert code == 0
+        assert "sync_targets_met" in capsys.readouterr().out
+
+    def test_run_baremetal_scenario(self, capsys):
+        code = main(
+            ["run", "--scheme", "direct", "--scenario", "baremetal",
+             "--participants", "2", "--duration", "3000"]
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_prints_all_schemes(self, capsys):
+        code = main(
+            ["compare", "--schemes", "direct", "dbo", "--participants", "3",
+             "--duration", "3000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "direct" in out and "dbo" in out
+
+
+class TestTableFigure:
+    def test_table_2(self, capsys):
+        code = main(["table", "2", "--duration", "8000"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure_11(self, capsys):
+        code = main(["figure", "11"])
+        assert code == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_figure_7(self, capsys):
+        code = main(["figure", "7", "--duration", "40000"])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_delta(self, capsys):
+        code = main(
+            ["sweep", "--param", "delta", "--values", "10", "45",
+             "--participants", "2", "--duration", "2000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delta" in out
+        assert "10.0" in out and "45.0" in out
+
+    def test_sweep_tau(self, capsys):
+        code = main(
+            ["sweep", "--param", "tau", "--values", "5", "40",
+             "--participants", "2", "--duration", "2000"]
+        )
+        assert code == 0
+        assert "tau" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_quick_reproduction_writes_all_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "repro_out")
+        code = main(["reproduce", "--out", out, "--quick"])
+        assert code == 0
+        import os
+
+        names = sorted(os.listdir(out))
+        assert names == [
+            "figure10.txt", "figure11.txt", "figure12.txt", "figure13.txt",
+            "figure2.txt", "figure7.txt",
+            "table2.txt", "table3.txt", "table4.txt",
+        ]
+        with open(os.path.join(out, "table3.txt")) as handle:
+            assert "dbo" in handle.read()
+
+
+class TestScenarioCoverage:
+    def test_multizone_via_cli(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--scenario", "multizone",
+             "--participants", "2", "--duration", "2000"]
+        )
+        assert code == 0
+
+    def test_trace_via_cli(self, capsys):
+        code = main(
+            ["run", "--scheme", "direct", "--scenario", "trace",
+             "--participants", "2", "--duration", "2000"]
+        )
+        assert code == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the CES batcher, including the §6.3.1 delay semantics."""
+
+import pytest
+
+from repro.core.batcher import Batcher
+from repro.exchange.messages import MarketDataPoint
+from repro.sim.engine import EventEngine
+
+
+def feed_points(engine, batcher, interval, count, start=0.0):
+    """Schedule `count` points on the engine at the feed cadence."""
+    for i in range(count):
+        t = start + i * interval
+        point = MarketDataPoint(point_id=i, generation_time=t)
+        engine.schedule_at(t, lambda p=point: batcher.on_point(p), priority=1)
+
+
+def run_batcher(span, interval, count, feed_interval_known=True):
+    engine = EventEngine()
+    batches = []
+    batcher = Batcher(
+        engine,
+        batch_span=span,
+        sink=lambda b: batches.append((b, engine.now)),
+        feed_interval=interval if feed_interval_known else None,
+    )
+    batcher.start(0.0)
+    feed_points(engine, batcher, interval, count)
+    engine.run(until=count * interval + 2 * span)
+    return batches
+
+
+class TestPaperSemantics:
+    def test_span25_interval40_zero_delay_singles(self):
+        """§6.3.1: batch span 25 µs with 40 µs data ⇒ zero batching delay."""
+        batches = run_batcher(span=25.0, interval=40.0, count=10)
+        assert all(len(b.points) == 1 for b, _ in batches)
+        for b, emitted_at in batches:
+            assert emitted_at == pytest.approx(b.points[0].generation_time)
+
+    def test_span60_interval40_first_point_waits_40_extra(self):
+        """§6.3.1: span 60 ⇒ two-point batches; first point +40 µs delay."""
+        batches = run_batcher(span=60.0, interval=40.0, count=24)
+        two_point = [(b, t) for b, t in batches if len(b.points) == 2]
+        assert two_point, "expected some two-point batches"
+        for b, emitted_at in two_point:
+            first, second = b.points
+            assert emitted_at - first.generation_time == pytest.approx(40.0)
+            assert emitted_at - second.generation_time == pytest.approx(0.0)
+
+    def test_span120_interval40_three_points_80_40_0(self):
+        """§6.3.1: span 120 ⇒ three points with extra delays 80/40/0 µs."""
+        batches = run_batcher(span=120.0, interval=40.0, count=30)
+        three_point = [(b, t) for b, t in batches if len(b.points) == 3]
+        assert three_point
+        for b, emitted_at in three_point:
+            delays = [emitted_at - p.generation_time for p in b.points]
+            assert delays == pytest.approx([80.0, 40.0, 0.0])
+
+    def test_all_points_batched_exactly_once(self):
+        batches = run_batcher(span=60.0, interval=40.0, count=25)
+        ids = [p.point_id for b, _ in batches for p in b.points]
+        assert ids == sorted(ids)
+        assert ids == list(range(25))
+
+    def test_batch_rate_never_exceeds_span_rate_dense_feed(self):
+        """With data denser than the window, closes must average ≥ span
+        apart (the 1/((1+κ)δ) generation-rate argument of §4.1.2)."""
+        batches = run_batcher(span=25.0, interval=10.0, count=200)
+        closes = [t for _, t in batches]
+        gaps = [b - a for a, b in zip(closes, closes[1:])]
+        # One batch per 25 µs window grid: the count is bounded by the
+        # number of windows, and no gap ever drops below δ = span/(1+κ).
+        assert len(batches) <= (200 * 10.0) / 25.0 + 1
+        assert min(gaps) >= 20.0 - 1e-6
+
+    def test_batch_ids_sequential(self):
+        batches = run_batcher(span=25.0, interval=40.0, count=5)
+        assert [b.batch_id for b, _ in batches] == list(range(5))
+
+
+class TestTimerMode:
+    def test_unknown_cadence_closes_at_window_end(self):
+        batches = run_batcher(span=50.0, interval=40.0, count=4, feed_interval_known=False)
+        # Points at 0, 40 fall in window [0, 50) → closed at 50.
+        first_batch, emitted_at = batches[0]
+        assert [p.point_id for p in first_batch.points] == [0, 1]
+        assert emitted_at == pytest.approx(50.0)
+
+    def test_empty_windows_produce_no_batches(self):
+        engine = EventEngine()
+        batches = []
+        batcher = Batcher(engine, batch_span=10.0, sink=lambda b: batches.append(b))
+        batcher.start(0.0)
+        engine.run(until=200.0)
+        assert batches == []
+
+
+class TestValidation:
+    def test_needs_positive_span(self):
+        with pytest.raises(ValueError):
+            Batcher(EventEngine(), batch_span=0.0, sink=lambda b: None)
+
+    def test_needs_positive_feed_interval(self):
+        with pytest.raises(ValueError):
+            Batcher(EventEngine(), batch_span=10.0, sink=lambda b: None, feed_interval=0.0)
+
+    def test_needs_sink_before_start(self):
+        batcher = Batcher(EventEngine(), batch_span=10.0)
+        with pytest.raises(RuntimeError):
+            batcher.start()
+
+    def test_start_twice_rejected(self):
+        batcher = Batcher(EventEngine(), batch_span=10.0, sink=lambda b: None)
+        batcher.start()
+        with pytest.raises(RuntimeError):
+            batcher.start()
+
+    def test_point_before_start_rejected(self):
+        batcher = Batcher(EventEngine(), batch_span=10.0, sink=lambda b: None)
+        with pytest.raises(RuntimeError):
+            batcher.on_point(MarketDataPoint(0, 0.0))
+
+    def test_non_consecutive_points_rejected(self):
+        engine = EventEngine()
+        batcher = Batcher(engine, batch_span=100.0, sink=lambda b: None)
+        batcher.start(0.0)
+        batcher.on_point(MarketDataPoint(0, 0.0))
+        with pytest.raises(ValueError):
+            batcher.on_point(MarketDataPoint(2, 1.0))

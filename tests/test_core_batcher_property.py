@@ -1,0 +1,76 @@
+"""Property-based tests for the CES batcher (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batcher import Batcher
+from repro.exchange.messages import MarketDataPoint
+from repro.sim.engine import EventEngine
+
+
+@st.composite
+def batcher_scenario(draw):
+    span = draw(st.sampled_from([10.0, 25.0, 60.0, 120.0]))
+    interval = draw(st.sampled_from([5.0, 10.0, 40.0, 100.0]))
+    count = draw(st.integers(min_value=1, max_value=80))
+    determined = draw(st.booleans())
+    return span, interval, count, determined
+
+
+def run_batcher(span, interval, count, determined):
+    engine = EventEngine()
+    batches = []
+    batcher = Batcher(
+        engine,
+        batch_span=span,
+        sink=lambda b: batches.append((b, engine.now)),
+        feed_interval=interval if determined else None,
+    )
+    batcher.start(0.0)
+    for i in range(count):
+        t = i * interval
+        point = MarketDataPoint(point_id=i, generation_time=t)
+        engine.schedule_at(t, lambda p=point: batcher.on_point(p), priority=1)
+    engine.run(until=count * interval + 3 * span)
+    return batches
+
+
+@given(batcher_scenario())
+@settings(max_examples=120, deadline=None)
+def test_every_point_batched_exactly_once_in_order(scenario):
+    span, interval, count, determined = scenario
+    batches = run_batcher(span, interval, count, determined)
+    ids = [p.point_id for b, _ in batches for p in b.points]
+    assert ids == list(range(count))
+
+
+@given(batcher_scenario())
+@settings(max_examples=120, deadline=None)
+def test_batches_emitted_after_their_points(scenario):
+    span, interval, count, determined = scenario
+    batches = run_batcher(span, interval, count, determined)
+    for batch, emitted_at in batches:
+        assert emitted_at >= batch.points[-1].generation_time - 1e-9
+        # Batching delay is bounded by the window span.
+        assert emitted_at - batch.points[0].generation_time <= span + 1e-9
+
+
+@given(batcher_scenario())
+@settings(max_examples=120, deadline=None)
+def test_batch_rate_bounded_by_window_grid(scenario):
+    """At most one batch per span-window: the 1/((1+κ)δ) rate bound."""
+    span, interval, count, determined = scenario
+    batches = run_batcher(span, interval, count, determined)
+    total_time = count * interval + 3 * span
+    assert len(batches) <= total_time / span + 1
+
+
+@given(batcher_scenario())
+@settings(max_examples=120, deadline=None)
+def test_batch_ids_sequential_and_points_consecutive(scenario):
+    span, interval, count, determined = scenario
+    batches = run_batcher(span, interval, count, determined)
+    assert [b.batch_id for b, _ in batches] == list(range(len(batches)))
+    for batch, _ in batches:
+        ids = [p.point_id for p in batch.points]
+        assert ids == list(range(ids[0], ids[0] + len(ids)))

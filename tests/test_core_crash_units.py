@@ -1,0 +1,97 @@
+"""Unit-level tests for RB/OB crash semantics (§4.2.1)."""
+
+import pytest
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.ordering_buffer import OrderingBuffer
+from repro.core.release_buffer import ReleaseBuffer
+from repro.exchange.messages import (
+    Heartbeat,
+    MarketDataBatch,
+    MarketDataPoint,
+    TaggedTrade,
+    TradeOrder,
+)
+from repro.sim.engine import EventEngine
+
+
+def batch(batch_id, point_id, close_time=0.0):
+    return MarketDataBatch(
+        batch_id=batch_id,
+        points=(MarketDataPoint(point_id=point_id, generation_time=close_time),),
+        close_time=close_time,
+    )
+
+
+class TestRBCrashUnit:
+    def make(self):
+        engine = EventEngine()
+        rb = ReleaseBuffer(engine, "mp0", pacing_gap=20.0, heartbeat_period=20.0)
+        deliveries, trades, heartbeats = [], [], []
+        rb.connect_mp(lambda points, t: deliveries.append(t))
+        rb.connect_ob(trades.append, heartbeats.append)
+        return engine, rb, deliveries, trades, heartbeats
+
+    def test_crashed_rb_drops_batches(self):
+        engine, rb, deliveries, _, _ = self.make()
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, rb.crash)
+        engine.schedule_at(50.0, lambda: rb.on_batch(batch(1, 1), 40.0, 50.0), priority=0)
+        engine.run()
+        assert deliveries == [10.0]
+        assert rb.clock.last_point_id == 0
+
+    def test_crashed_rb_stops_heartbeats(self):
+        engine, rb, _, _, heartbeats = self.make()
+        rb.start_heartbeats(start_time=0.0)
+        engine.schedule_at(45.0, rb.crash)
+        engine.run(until=200.0)
+        assert all(hb.generated_at <= 45.0 for hb in heartbeats)
+        assert len(heartbeats) == 3  # t = 0, 20, 40
+
+    def test_crashed_rb_drops_trades(self):
+        engine, rb, _, trades, _ = self.make()
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(15.0, rb.crash)
+        engine.schedule_at(16.0, lambda: rb.on_mp_trade(TradeOrder("mp0", 0)))
+        engine.run()
+        assert trades == []
+        assert rb.trades_dropped_untagged == 1
+
+
+class TestOBCrashUnit:
+    def test_crash_drops_queue_and_resets_watermarks(self):
+        released = []
+        ob = OrderingBuffer(
+            participants=["a", "b"],
+            sink=lambda tagged, now: released.append(tagged.trade.key),
+        )
+        ob.on_tagged_trade(
+            TaggedTrade(trade=TradeOrder("a", 0), clock=DeliveryClockStamp(0, 5.0)),
+            0.0,
+            1.0,
+        )
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 2.0)), 0.0, 2.0)
+        assert ob.queue_depth == 1
+        lost = ob.crash()
+        assert lost == 1
+        assert ob.queue_depth == 0
+        assert ob.trades_lost_to_crash == 1
+        assert all(state.watermark is None for state in ob.states.values())
+        assert released == []
+
+    def test_recovers_from_fresh_heartbeats(self):
+        released = []
+        ob = OrderingBuffer(
+            participants=["a", "b"],
+            sink=lambda tagged, now: released.append(tagged.trade.key),
+        )
+        ob.crash()
+        # Post-restart traffic behaves normally.
+        ob.on_tagged_trade(
+            TaggedTrade(trade=TradeOrder("a", 1), clock=DeliveryClockStamp(5, 1.0)),
+            0.0,
+            10.0,
+        )
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(5, 3.0)), 0.0, 11.0)
+        assert released == [("a", 1)]

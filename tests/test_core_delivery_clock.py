@@ -1,0 +1,121 @@
+"""Unit and property tests for delivery clocks (§4.1.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delivery_clock import (
+    ClockNotStartedError,
+    DeliveryClock,
+    DeliveryClockStamp,
+)
+from repro.sim.clocks import DriftingClock
+
+
+class TestStampOrdering:
+    def test_lexicographic_point_id_first(self):
+        assert DeliveryClockStamp(1, 100.0) < DeliveryClockStamp(2, 0.0)
+
+    def test_elapsed_breaks_ties(self):
+        assert DeliveryClockStamp(1, 5.0) < DeliveryClockStamp(1, 6.0)
+
+    def test_equality(self):
+        assert DeliveryClockStamp(1, 5.0) == DeliveryClockStamp(1, 5.0)
+        assert DeliveryClockStamp(1, 5.0) != DeliveryClockStamp(1, 5.1)
+
+    def test_hashable(self):
+        stamps = {DeliveryClockStamp(1, 5.0), DeliveryClockStamp(1, 5.0)}
+        assert len(stamps) == 1
+
+    def test_comparison_operators(self):
+        a, b = DeliveryClockStamp(0, 1.0), DeliveryClockStamp(0, 2.0)
+        assert a <= b and b >= a and b > a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryClockStamp(-1, 0.0)
+        with pytest.raises(ValueError):
+            DeliveryClockStamp(0, -0.1)
+
+    @given(
+        st.tuples(st.integers(0, 100), st.floats(0.0, 100.0, allow_nan=False)),
+        st.tuples(st.integers(0, 100), st.floats(0.0, 100.0, allow_nan=False)),
+    )
+    def test_matches_tuple_order(self, a, b):
+        sa, sb = DeliveryClockStamp(*a), DeliveryClockStamp(*b)
+        assert (sa < sb) == (a < b)
+        assert (sa == sb) == (a == b)
+
+
+class TestDeliveryClock:
+    def test_not_started_initially(self):
+        clock = DeliveryClock()
+        assert not clock.started
+        assert clock.last_point_id is None
+
+    def test_read_before_delivery_raises(self):
+        with pytest.raises(ClockNotStartedError):
+            DeliveryClock().read(0.0)
+
+    def test_tracks_elapsed_since_delivery(self):
+        clock = DeliveryClock()
+        clock.on_delivery(0, 100.0)
+        assert clock.read(107.5) == DeliveryClockStamp(0, 7.5)
+
+    def test_batch_delivery_jumps_point_id(self):
+        clock = DeliveryClock()
+        clock.on_delivery(0, 100.0)
+        clock.on_delivery(3, 120.0)
+        assert clock.last_point_id == 3
+        assert clock.read(120.0) == DeliveryClockStamp(3, 0.0)
+
+    def test_regressing_point_id_rejected(self):
+        clock = DeliveryClock()
+        clock.on_delivery(5, 100.0)
+        with pytest.raises(ValueError):
+            clock.on_delivery(5, 110.0)
+        with pytest.raises(ValueError):
+            clock.on_delivery(3, 110.0)
+
+    def test_reading_before_last_delivery_rejected(self):
+        clock = DeliveryClock()
+        clock.on_delivery(0, 100.0)
+        with pytest.raises(ValueError):
+            clock.read(99.0)
+
+    def test_offset_does_not_affect_reading(self):
+        plain = DeliveryClock(DriftingClock(offset=0.0))
+        shifted = DeliveryClock(DriftingClock(offset=1e9))
+        for c in (plain, shifted):
+            c.on_delivery(0, 100.0)
+        assert plain.read(105.0) == shifted.read(105.0)
+
+    def test_drift_scales_elapsed_slightly(self):
+        clock = DeliveryClock(DriftingClock(drift_rate=1e-4))
+        clock.on_delivery(0, 0.0)
+        stamp = clock.read(1000.0)
+        assert stamp.elapsed == pytest.approx(1000.1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotonicity_property(self, gaps):
+        """Readings never decrease as time advances and points deliver."""
+        clock = DeliveryClock()
+        t = 0.0
+        clock.on_delivery(0, t)
+        last = clock.read(t)
+        point = 0
+        for i, gap in enumerate(gaps):
+            t += gap
+            if i % 2 == 0:
+                point += 1
+                clock.on_delivery(point, t)
+            current = clock.read(t)
+            assert current >= last
+            last = current

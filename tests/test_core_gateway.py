@@ -1,0 +1,88 @@
+"""Unit tests for the front-running-prevention egress gateway (App. E)."""
+
+import pytest
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.gateway import EgressGateway
+
+
+def make_gateway(participants=("a", "b")):
+    released = []
+    gateway = EgressGateway(
+        participants=list(participants),
+        sink=lambda message, now: released.append((message.payload, now)),
+    )
+    return gateway, released
+
+
+def stamp(point, elapsed=0.0):
+    return DeliveryClockStamp(point, elapsed)
+
+
+class TestHold:
+    def test_held_until_all_participants_have_point(self):
+        gateway, released = make_gateway()
+        gateway.on_clock_report("a", stamp(5), now=10.0)
+        gateway.on_egress("a", "data-about-5", stamp(5), now=11.0)
+        assert released == []  # b hasn't seen point 5
+        gateway.on_clock_report("b", stamp(4), now=12.0)
+        assert released == []
+        gateway.on_clock_report("b", stamp(5), now=13.0)
+        assert released == [("data-about-5", 13.0)]
+
+    def test_releases_immediately_when_already_safe(self):
+        gateway, released = make_gateway()
+        gateway.on_clock_report("a", stamp(9), now=10.0)
+        gateway.on_clock_report("b", stamp(9), now=10.0)
+        gateway.on_egress("a", "old-news", stamp(3), now=11.0)
+        assert released == [("old-news", 11.0)]
+
+    def test_nothing_released_before_everyone_reports(self):
+        gateway, released = make_gateway()
+        gateway.on_clock_report("a", stamp(5), now=10.0)
+        gateway.on_egress("a", "x", stamp(0), now=11.0)
+        assert released == []  # b never reported at all
+
+    def test_release_order_by_tag(self):
+        gateway, released = make_gateway()
+        gateway.on_egress("a", "second", stamp(6), now=1.0)
+        gateway.on_egress("b", "first", stamp(2), now=2.0)
+        gateway.on_clock_report("a", stamp(10), now=3.0)
+        gateway.on_clock_report("b", stamp(10), now=4.0)
+        assert [p for p, _ in released] == ["first", "second"]
+
+    def test_partial_drain(self):
+        gateway, released = make_gateway()
+        gateway.on_egress("a", "early", stamp(1), now=1.0)
+        gateway.on_egress("a", "late", stamp(8), now=2.0)
+        gateway.on_clock_report("a", stamp(8), now=3.0)
+        gateway.on_clock_report("b", stamp(4), now=4.0)
+        assert [p for p, _ in released] == ["early"]
+        assert gateway.pending_count == 1
+
+    def test_counters(self):
+        gateway, released = make_gateway()
+        gateway.on_egress("a", "x", stamp(0), now=1.0)
+        gateway.on_clock_report("a", stamp(1), now=2.0)
+        gateway.on_clock_report("b", stamp(1), now=3.0)
+        assert gateway.messages_buffered == 1
+        assert gateway.messages_released == 1
+
+
+class TestValidation:
+    def test_unknown_participant_report_rejected(self):
+        gateway, _ = make_gateway()
+        with pytest.raises(KeyError):
+            gateway.on_clock_report("zzz", stamp(0), now=0.0)
+
+    def test_needs_participants(self):
+        with pytest.raises(ValueError):
+            EgressGateway(participants=[])
+
+    def test_reports_only_advance(self):
+        gateway, released = make_gateway()
+        gateway.on_clock_report("a", stamp(9), now=1.0)
+        gateway.on_clock_report("a", stamp(3), now=2.0)  # stale, ignored
+        gateway.on_clock_report("b", stamp(9), now=3.0)
+        gateway.on_egress("a", "x", stamp(8), now=4.0)
+        assert released  # watermark stayed at 9

@@ -1,0 +1,199 @@
+"""Unit tests for the ordering buffer's release rule and straggler logic."""
+
+import pytest
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.ordering_buffer import OrderingBuffer
+from repro.exchange.messages import Heartbeat, Side, TaggedTrade, TradeOrder
+
+
+def tagged(mp, seq, point, elapsed):
+    order = TradeOrder(mp_id=mp, trade_seq=seq, side=Side.BUY, price=1.0)
+    return TaggedTrade(trade=order, clock=DeliveryClockStamp(point, elapsed))
+
+
+def heartbeat(mp, point, elapsed):
+    return Heartbeat(mp_id=mp, clock=DeliveryClockStamp(point, elapsed))
+
+
+def make_ob(participants=("a", "b", "c"), **kwargs):
+    released = []
+    ob = OrderingBuffer(
+        participants=list(participants),
+        sink=lambda t, now: released.append((t.trade.key, t.clock)),
+        **kwargs,
+    )
+    return ob, released
+
+
+class TestReleaseRule:
+    def test_trade_held_until_all_others_pass_it(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        assert released == []
+        ob.on_heartbeat(heartbeat("b", 0, 6.0), 0.0, 11.0)
+        assert released == [(("a", 0), DeliveryClockStamp(0, 5.0))]
+
+    def test_own_participant_watermark_not_required(self):
+        # Trade from "a" needs only b's and c's progress, not a's own.
+        ob, released = make_ob(("a", "b", "c"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(heartbeat("b", 0, 9.0), 0.0, 11.0)
+        ob.on_heartbeat(heartbeat("c", 0, 9.0), 0.0, 12.0)
+        assert len(released) == 1
+
+    def test_equal_watermark_is_not_enough(self):
+        # Strict inequality: a heartbeat AT the stamp doesn't prove a
+        # subsequent equal-stamp trade is impossible.
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(heartbeat("b", 0, 5.0), 0.0, 11.0)
+        assert released == []
+
+    def test_competing_trade_acts_as_progress_proof(self):
+        # b's own trade with a higher stamp releases a's trade without
+        # waiting for b's next heartbeat.
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("b", 0, 0, 7.0), 0.0, 11.0)
+        assert [key for key, _ in released] == [("a", 0)]
+
+    def test_release_in_stamp_order_not_arrival_order(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("b", 0, 0, 9.0), 0.0, 10.0)   # slower, arrives first
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 11.0)   # faster, arrives later
+        ob.on_heartbeat(heartbeat("a", 0, 20.0), 0.0, 12.0)
+        ob.on_heartbeat(heartbeat("b", 0, 20.0), 0.0, 13.0)
+        assert [key for key, _ in released] == [("a", 0), ("b", 0)]
+
+    def test_point_id_dominates_elapsed(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 1, 0.5), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("b", 0, 0, 99.0), 0.0, 11.0)
+        ob.on_heartbeat(heartbeat("a", 2, 0.0), 0.0, 12.0)
+        ob.on_heartbeat(heartbeat("b", 2, 0.0), 0.0, 13.0)
+        assert [key for key, _ in released] == [("b", 0), ("a", 0)]
+
+    def test_no_release_before_every_participant_reports(self):
+        ob, released = make_ob(("a", "b", "c"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(heartbeat("b", 3, 0.0), 0.0, 11.0)
+        # c has never reported: nothing can be proven safe.
+        assert released == []
+
+    def test_prestart_heartbeats_do_not_advance_watermark(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(Heartbeat(mp_id="b", clock=None), 0.0, 11.0)
+        assert released == []
+
+    def test_single_participant_releases_own_trades_immediately(self):
+        ob, released = make_ob(("a",))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        assert len(released) == 1
+
+    def test_causality_same_participant_fifo(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("a", 1, 0, 6.0), 0.0, 10.5)
+        ob.on_heartbeat(heartbeat("b", 0, 50.0), 0.0, 11.0)
+        assert [key for key, _ in released] == [("a", 0), ("a", 1)]
+
+    def test_unknown_participant_rejected(self):
+        ob, _ = make_ob(("a",))
+        with pytest.raises(KeyError):
+            ob.on_tagged_trade(tagged("zzz", 0, 0, 1.0), 0.0, 1.0)
+        with pytest.raises(KeyError):
+            ob.on_heartbeat(heartbeat("zzz", 0, 1.0), 0.0, 1.0)
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingBuffer(participants=["a", "a"])
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingBuffer(participants=[])
+
+    def test_counters(self):
+        ob, _ = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(heartbeat("b", 0, 9.0), 0.0, 11.0)
+        assert ob.trades_received == 1
+        assert ob.trades_released == 1
+        assert ob.heartbeats_processed == 1
+        assert ob.max_queue_depth == 1
+
+
+class TestFlush:
+    def test_flush_releases_everything(self):
+        ob, released = make_ob(("a", "b"))
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("a", 1, 0, 7.0), 0.0, 10.5)
+        flushed = ob.flush(now=100.0)
+        assert flushed == 2
+        assert [key for key, _ in released] == [("a", 0), ("a", 1)]
+        assert ob.queue_depth == 0
+
+
+class TestStragglers:
+    def test_straggler_detected_by_lag(self):
+        # Heartbeat for point generated at 0, elapsed 5, arriving at 500:
+        # lag ≈ 495 > threshold 100 → straggler.
+        ob, _ = make_ob(
+            ("a", "b"),
+            generation_time_of=lambda pid: 0.0,
+            straggler_threshold=100.0,
+        )
+        ob.on_heartbeat(heartbeat("b", 0, 5.0), 0.0, 500.0)
+        assert ob.straggler_ids() == ["b"]
+
+    def test_straggler_not_waited_for(self):
+        ob, released = make_ob(
+            ("a", "b"),
+            generation_time_of=lambda pid: 0.0,
+            straggler_threshold=100.0,
+        )
+        ob.on_heartbeat(heartbeat("b", 0, 5.0), 0.0, 500.0)  # b is straggling
+        ob.on_tagged_trade(tagged("a", 0, 1, 5.0), 0.0, 510.0)
+        assert len(released) == 1  # released without waiting for b
+
+    def test_straggler_recovers(self):
+        ob, _ = make_ob(
+            ("a", "b"),
+            generation_time_of=lambda pid: float(pid) * 40.0,
+            straggler_threshold=100.0,
+        )
+        ob.on_heartbeat(heartbeat("b", 0, 5.0), 0.0, 500.0)
+        assert ob.straggler_ids() == ["b"]
+        # Later heartbeat shows healthy lag: point 20 generated at 800,
+        # elapsed 5, arrives 830 → lag 25.
+        ob.on_heartbeat(heartbeat("b", 20, 5.0), 0.0, 830.0)
+        assert ob.straggler_ids() == []
+
+    def test_silent_participant_becomes_straggler(self):
+        ob, released = make_ob(
+            ("a", "b"),
+            generation_time_of=lambda pid: 0.0,
+            straggler_threshold=100.0,
+        )
+        ob.on_heartbeat(heartbeat("b", 0, 1.0), 0.0, 10.0)   # healthy at t=10
+        ob.on_tagged_trade(tagged("a", 0, 5, 1.0), 0.0, 400.0)
+        # b silent for 390 > threshold → a's trade released anyway.
+        assert len(released) == 1
+
+    def test_mitigation_disabled_waits_forever(self):
+        ob, released = make_ob(("a", "b"))  # no threshold
+        ob.on_heartbeat(heartbeat("b", 0, 1.0), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("a", 0, 5, 1.0), 0.0, 10_000.0)
+        assert released == []
+
+    def test_all_stragglers_degrades_to_fcfs(self):
+        ob, released = make_ob(
+            ("a", "b"),
+            generation_time_of=lambda pid: 0.0,
+            straggler_threshold=50.0,
+        )
+        ob.on_heartbeat(heartbeat("a", 0, 1.0), 0.0, 500.0)
+        ob.on_heartbeat(heartbeat("b", 0, 1.0), 0.0, 500.0)
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 510.0)
+        assert len(released) == 1

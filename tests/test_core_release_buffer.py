@@ -1,0 +1,213 @@
+"""Unit tests for the release buffer: pacing, tagging, heartbeats."""
+
+import pytest
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.release_buffer import ReleaseBuffer
+from repro.exchange.messages import MarketDataBatch, MarketDataPoint, Side, TradeOrder
+from repro.net.latency import ConstantLatency
+from repro.sim.clocks import DriftingClock
+from repro.sim.engine import EventEngine
+
+
+def batch(batch_id, first_id, n_points, close_time):
+    points = tuple(
+        MarketDataPoint(point_id=first_id + i, generation_time=close_time)
+        for i in range(n_points)
+    )
+    return MarketDataBatch(batch_id=batch_id, points=points, close_time=close_time)
+
+
+def make_rb(engine, delta=20.0, tau=20.0, clock=None, rb_to_mp=None):
+    rb = ReleaseBuffer(
+        engine,
+        mp_id="mp0",
+        pacing_gap=delta,
+        heartbeat_period=tau,
+        local_clock=clock,
+        rb_to_mp=rb_to_mp,
+    )
+    deliveries = []
+    rb.connect_mp(lambda points, t: deliveries.append((points, t)))
+    trades, heartbeats = [], []
+    rb.connect_ob(trades.append, heartbeats.append)
+    return rb, deliveries, trades, heartbeats
+
+
+def arrive(engine, rb, b, at):
+    engine.schedule_at(at, lambda: rb.on_batch(b, at - 1.0, at), priority=0)
+
+
+class TestPacing:
+    def test_first_batch_delivered_immediately(self):
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.run()
+        assert len(deliveries) == 1
+        assert deliveries[0][1] == 10.0
+
+    def test_gap_enforced_when_batches_bunch(self):
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine, delta=20.0)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        arrive(engine, rb, batch(1, 1, 1, 0.0), at=12.0)  # 2 µs later
+        arrive(engine, rb, batch(2, 2, 1, 0.0), at=14.0)
+        engine.run()
+        times = [t for _, t in deliveries]
+        assert times == [10.0, 30.0, 50.0]
+
+    def test_no_extra_delay_when_spaced(self):
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine, delta=20.0)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        arrive(engine, rb, batch(1, 1, 1, 0.0), at=50.0)
+        engine.run()
+        assert [t for _, t in deliveries] == [10.0, 50.0]
+
+    def test_queue_depth_tracked(self):
+        engine = EventEngine()
+        rb, _, _, _ = make_rb(engine, delta=20.0)
+        for i in range(5):
+            arrive(engine, rb, batch(i, i, 1, 0.0), at=10.0 + 0.1 * i)
+        engine.run()
+        assert rb.max_queue_depth >= 4
+
+    def test_pacing_gap_measured_on_local_clock(self):
+        # A fast local clock (drift +1%) measures δ sooner in true time.
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine, delta=20.0, clock=DriftingClock(drift_rate=0.01))
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        arrive(engine, rb, batch(1, 1, 1, 0.0), at=11.0)
+        engine.run()
+        gap_true = deliveries[1][1] - deliveries[0][1]
+        assert gap_true == pytest.approx(20.0 / 1.01)
+
+    def test_delivery_times_recorded_per_point(self):
+        engine = EventEngine()
+        rb, _, _, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 3, 0.0), at=10.0)
+        engine.run()
+        assert rb.delivery_times == {0: 10.0, 1: 10.0, 2: 10.0}
+
+    def test_validation(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            ReleaseBuffer(engine, "x", pacing_gap=0.0, heartbeat_period=1.0)
+        with pytest.raises(ValueError):
+            ReleaseBuffer(engine, "x", pacing_gap=1.0, heartbeat_period=0.0)
+
+
+class TestDeliveryClockAdvance:
+    def test_clock_advances_to_batch_last_point(self):
+        engine = EventEngine()
+        rb, _, _, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 3, 0.0), at=10.0)
+        engine.run()
+        assert rb.clock.last_point_id == 2
+
+    def test_recovered_batch_does_not_advance_clock(self):
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.schedule_at(
+            30.0, lambda: rb.on_recovered_batch(batch(1, 1, 1, 0.0), 5.0, 30.0)
+        )
+        engine.run()
+        assert rb.clock.last_point_id == 0          # not advanced
+        assert len(deliveries) == 2                  # but MP did get the data
+        assert rb.delivery_times[1] == 30.0
+
+
+class TestTagging:
+    def trade(self, seq=0):
+        return TradeOrder(mp_id="mp0", trade_seq=seq, side=Side.BUY, price=1.0)
+
+    def test_trade_tagged_with_elapsed_time(self):
+        engine = EventEngine()
+        rb, _, trades, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.schedule_at(17.5, lambda: rb.on_mp_trade(self.trade()))
+        engine.run()
+        assert len(trades) == 1
+        assert trades[0].clock == DeliveryClockStamp(0, 7.5)
+        assert trades[0].tagged_at == 17.5
+
+    def test_tags_monotone_across_trades(self):
+        engine = EventEngine()
+        rb, _, trades, _ = make_rb(engine)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.schedule_at(12.0, lambda: rb.on_mp_trade(self.trade(0)))
+        engine.schedule_at(15.0, lambda: rb.on_mp_trade(self.trade(1)))
+        arrive(engine, rb, batch(1, 1, 1, 0.0), at=40.0)
+        engine.schedule_at(41.0, lambda: rb.on_mp_trade(self.trade(2)))
+        engine.run()
+        stamps = [t.clock for t in trades]
+        assert stamps == sorted(stamps)
+        assert stamps[2].last_point_id == 1
+
+    def test_trade_before_any_delivery_dropped(self):
+        engine = EventEngine()
+        rb, _, trades, _ = make_rb(engine)
+        engine.schedule_at(5.0, lambda: rb.on_mp_trade(self.trade()))
+        engine.run()
+        assert trades == []
+        assert rb.trades_dropped_untagged == 1
+
+    def test_trade_without_sink_raises(self):
+        engine = EventEngine()
+        rb = ReleaseBuffer(engine, "mp0", pacing_gap=20.0, heartbeat_period=20.0)
+        with pytest.raises(RuntimeError):
+            rb.on_mp_trade(self.trade())
+
+
+class TestHeartbeats:
+    def test_heartbeats_on_cadence(self):
+        engine = EventEngine()
+        rb, _, _, heartbeats = make_rb(engine, tau=20.0)
+        rb.start_heartbeats(start_time=0.0)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.run(until=100.0)
+        assert len(heartbeats) == 6  # 0, 20, 40, 60, 80, 100
+
+    def test_pre_start_heartbeats_carry_no_stamp(self):
+        engine = EventEngine()
+        rb, _, _, heartbeats = make_rb(engine, tau=20.0)
+        rb.start_heartbeats(start_time=0.0)
+        engine.run(until=30.0)
+        assert all(hb.clock is None for hb in heartbeats)
+
+    def test_heartbeat_stamps_monotone(self):
+        engine = EventEngine()
+        rb, _, _, heartbeats = make_rb(engine, tau=10.0)
+        rb.start_heartbeats(start_time=0.0)
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=5.0)
+        arrive(engine, rb, batch(1, 1, 1, 0.0), at=45.0)
+        engine.run(until=100.0)
+        stamps = [hb.clock for hb in heartbeats if hb.clock is not None]
+        assert stamps == sorted(stamps)
+
+    def test_heartbeats_need_sink(self):
+        engine = EventEngine()
+        rb = ReleaseBuffer(engine, "mp0", pacing_gap=20.0, heartbeat_period=20.0)
+        with pytest.raises(RuntimeError):
+            rb.start_heartbeats()
+
+    def test_double_start_rejected(self):
+        engine = EventEngine()
+        rb, _, _, _ = make_rb(engine)
+        rb.start_heartbeats(start_time=0.0)
+        with pytest.raises(RuntimeError):
+            rb.start_heartbeats(start_time=5.0)
+
+
+class TestNonColocatedRB:
+    def test_rb_to_mp_latency_delays_mp_delivery_only(self):
+        engine = EventEngine()
+        rb, deliveries, _, _ = make_rb(engine, rb_to_mp=ConstantLatency(5.0))
+        arrive(engine, rb, batch(0, 0, 1, 0.0), at=10.0)
+        engine.run()
+        # MP sees the data 5 µs after the RB released it...
+        assert deliveries[0][1] == 15.0
+        # ...but the RB's own clock (and D records) use the release time.
+        assert rb.delivery_times[0] == 10.0

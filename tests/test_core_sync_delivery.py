@@ -1,0 +1,162 @@
+"""Tests for sync-assisted delivery (§4.2.6 extension)."""
+
+import pytest
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.core.sync_delivery import SyncAssistedReleaseBuffer
+from repro.core.system import DBODeployment
+from repro.exchange.messages import MarketDataBatch, MarketDataPoint
+from repro.metrics.fairness import evaluate_fairness
+from repro.net.latency import CompositeLatency, ConstantLatency, StepLatency, UniformJitterLatency
+from repro.participants.response_time import RaceResponseTime, UniformResponseTime
+from repro.sim.clocks import SynchronizedClock
+from repro.sim.engine import EventEngine
+from repro.theory.fairness_defs import lrtf_violations
+
+
+def batch(batch_id, first_id, close_time):
+    return MarketDataBatch(
+        batch_id=batch_id,
+        points=(MarketDataPoint(point_id=first_id, generation_time=close_time),),
+        close_time=close_time,
+    )
+
+
+def make_rb(engine, c1=25.0, error=0.0, delta=20.0):
+    rb = SyncAssistedReleaseBuffer(
+        engine,
+        mp_id="mp0",
+        pacing_gap=delta,
+        heartbeat_period=20.0,
+        sync_clock=SynchronizedClock(error_bound=error, seed=1),
+        target_delay=c1,
+    )
+    deliveries = []
+    rb.connect_mp(lambda points, t: deliveries.append(t))
+    rb.connect_ob(lambda t: None, lambda h: None)
+    return rb, deliveries
+
+
+class TestUnit:
+    def test_fast_arrival_waits_for_target(self):
+        engine = EventEngine()
+        rb, deliveries = make_rb(engine, c1=25.0)
+        b = batch(0, 0, close_time=100.0)
+        engine.schedule_at(105.0, lambda: rb.on_batch(b, 100.0, 105.0), priority=0)
+        engine.run()
+        assert deliveries == [125.0]  # close + C1, not arrival
+        assert rb.targets_met == 1
+
+    def test_late_arrival_releases_immediately(self):
+        engine = EventEngine()
+        rb, deliveries = make_rb(engine, c1=25.0)
+        b = batch(0, 0, close_time=100.0)
+        engine.schedule_at(140.0, lambda: rb.on_batch(b, 100.0, 140.0), priority=0)
+        engine.run()
+        assert deliveries == [140.0]
+        assert rb.targets_missed == 1
+
+    def test_pacing_still_enforced(self):
+        engine = EventEngine()
+        rb, deliveries = make_rb(engine, c1=25.0, delta=20.0)
+        b0 = batch(0, 0, close_time=100.0)
+        b1 = batch(1, 1, close_time=105.0)  # targets only 5 apart
+        engine.schedule_at(101.0, lambda: rb.on_batch(b0, 100.0, 101.0), priority=0)
+        engine.schedule_at(106.0, lambda: rb.on_batch(b1, 105.0, 106.0), priority=0)
+        engine.run()
+        assert deliveries[0] == 125.0
+        assert deliveries[1] == pytest.approx(145.0)  # pacing, not 130
+
+    def test_sync_error_shifts_target(self):
+        engine = EventEngine()
+        rb, deliveries = make_rb(engine, c1=25.0, error=3.0)
+        b = batch(0, 0, close_time=100.0)
+        engine.schedule_at(105.0, lambda: rb.on_batch(b, 100.0, 105.0), priority=0)
+        engine.run()
+        assert deliveries[0] == pytest.approx(125.0, abs=3.0 + 1e-9)
+        assert deliveries[0] != 125.0  # the seeded error is nonzero
+
+    def test_validation(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            SyncAssistedReleaseBuffer(
+                engine,
+                "mp0",
+                pacing_gap=20.0,
+                heartbeat_period=20.0,
+                sync_clock=SynchronizedClock(),
+                target_delay=0.0,
+            )
+
+
+def jitter_specs(n=4, seed=61):
+    """Uncorrelated per-packet jitter: the case where plain DBO's
+    beyond-horizon fairness degrades (§6.3.2's correlation argument in
+    reverse)."""
+    return [
+        NetworkSpec(
+            forward=UniformJitterLatency(10.0 + i, 6.0, seed=seed + 2 * i),
+            reverse=UniformJitterLatency(10.0 + i, 6.0, seed=seed + 2 * i + 1),
+        )
+        for i in range(n)
+    ]
+
+
+class TestDeployment:
+    RT_BEYOND = RaceResponseTime(4, low=35.0, high=39.0, gap=0.1, seed=5)
+
+    def run_one(self, **kwargs):
+        deployment = DBODeployment(
+            jitter_specs(),
+            params=DBOParams(delta=20.0),
+            response_time_model=self.RT_BEYOND,
+            seed=7,
+            **kwargs,
+        )
+        return deployment.run(duration=15_000.0)
+
+    def test_improves_beyond_horizon_fairness(self):
+        plain = evaluate_fairness(self.run_one()).ratio
+        assisted = evaluate_fairness(self.run_one(sync_target_c1=25.0)).ratio
+        assert assisted > plain
+        assert assisted > 0.99
+
+    def test_lrtf_always_preserved(self):
+        # Within-horizon trades stay guaranteed even with terrible sync.
+        deployment = DBODeployment(
+            jitter_specs(),
+            params=DBOParams(delta=20.0),
+            response_time_model=UniformResponseTime(low=5.0, high=19.0, seed=3),
+            seed=7,
+            sync_target_c1=25.0,
+            sync_error=50.0,  # sync far worse than useful
+            rb_clock_drift=0.0,
+        )
+        result = deployment.run(duration=15_000.0)
+        assert lrtf_violations(result, delta=20.0) == []
+
+    def test_counters_present(self):
+        result = self.run_one(sync_target_c1=25.0)
+        assert "sync_targets_met" in result.counters
+        assert "sync_targets_missed" in result.counters
+
+    def test_spike_degrades_gracefully_not_catastrophically(self):
+        spike = StepLatency([(0.0, 0.0), (3000.0, 200.0), (5000.0, 0.0)])
+        specs = jitter_specs()
+        specs[0] = NetworkSpec(
+            forward=CompositeLatency([ConstantLatency(10.0), spike]),
+            reverse=ConstantLatency(10.0),
+        )
+        deployment = DBODeployment(
+            specs,
+            params=DBOParams(delta=20.0),
+            response_time_model=UniformResponseTime(low=5.0, high=19.0, seed=3),
+            seed=7,
+            sync_target_c1=25.0,
+            rb_clock_drift=0.0,
+        )
+        result = deployment.run(duration=15_000.0, drain=30_000.0)
+        # Targets are missed during the spike, but LRTF never breaks.
+        assert result.counters["sync_targets_missed"] > 0
+        assert lrtf_violations(result, delta=20.0) == []

@@ -1,0 +1,111 @@
+"""Tests for PnL/position accounting, including conservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exchange.accounting import Account, Ledger
+from repro.exchange.messages import Execution, Side, TradeOrder
+from repro.exchange.order_book import LimitOrderBook
+
+
+def execution(buyer, seller, price, qty):
+    return Execution((buyer, 0), (seller, 0), price, qty, 0.0)
+
+
+class TestAccount:
+    def test_buy_moves_cash_and_inventory(self):
+        account = Account("a")
+        account.on_buy(10.0, 3)
+        assert account.cash == -30.0
+        assert account.inventory == 3
+
+    def test_sell_moves_cash_and_inventory(self):
+        account = Account("a")
+        account.on_sell(10.0, 3)
+        assert account.cash == 30.0
+        assert account.inventory == -3
+
+    def test_marked_pnl_round_trip_profit(self):
+        account = Account("a")
+        account.on_buy(10.0, 1)
+        account.on_sell(11.0, 1)
+        assert account.marked_pnl(reference_price=999.0) == pytest.approx(1.0)
+
+    def test_marked_pnl_open_position(self):
+        account = Account("a")
+        account.on_buy(10.0, 2)
+        assert account.marked_pnl(reference_price=12.0) == pytest.approx(4.0)
+
+
+class TestLedger:
+    def test_double_entry(self):
+        ledger = Ledger()
+        ledger.apply(execution("b", "s", 10.0, 2))
+        assert ledger.account("b").inventory == 2
+        assert ledger.account("s").inventory == -2
+        assert ledger.account("b").cash == -20.0
+        assert ledger.account("s").cash == 20.0
+
+    def test_conservation(self):
+        ledger = Ledger()
+        ledger.apply_all(
+            [execution("a", "b", 10.0, 1), execution("b", "c", 11.0, 3)]
+        )
+        assert ledger.total_cash() == pytest.approx(0.0)
+        assert ledger.total_inventory() == 0
+        assert ledger.total_marked_pnl(57.0) == pytest.approx(0.0)
+
+    def test_pnl_table_sorted(self):
+        ledger = Ledger()
+        ledger.apply(execution("winner", "loser", 10.0, 1))
+        rows = ledger.pnl_table(reference_price=12.0)
+        assert rows[0][0] == "winner"
+        assert rows[0][1] == pytest.approx(2.0)
+        assert rows[-1][0] == "loser"
+
+    def test_owners_sorted(self):
+        ledger = Ledger()
+        ledger.apply(execution("z", "a", 1.0, 1))
+        assert ledger.owners == ["a", "z"]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(min_value=0.1, max_value=100.0),
+            st.integers(1, 10),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    st.floats(min_value=0.0, max_value=200.0),
+)
+@settings(max_examples=150)
+def test_zero_sum_property(fills, mark):
+    ledger = Ledger()
+    for buyer, seller, price, qty in fills:
+        ledger.apply(execution(buyer, seller, price, qty))
+    assert ledger.total_inventory() == 0
+    assert ledger.total_cash() == pytest.approx(0.0, abs=1e-6)
+    assert ledger.total_marked_pnl(mark) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_ledger_over_real_book():
+    """Fills from the order book reconcile: booked volume matches fills."""
+    book = LimitOrderBook()
+    ledger = Ledger()
+    orders = [
+        TradeOrder("maker", 0, Side.SELL, price=10.0, quantity=5),
+        TradeOrder("taker1", 0, Side.BUY, price=10.0, quantity=2),
+        TradeOrder("taker2", 0, Side.BUY, price=10.0, quantity=3),
+    ]
+    for order in orders:
+        book.submit(order)
+    ledger.apply_all(book.executions)
+    assert ledger.account("maker").inventory == -5
+    assert ledger.account("taker1").inventory == 2
+    assert ledger.account("taker2").inventory == 3
+    assert ledger.fills_applied == len(book.executions)

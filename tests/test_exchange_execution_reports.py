@@ -1,0 +1,76 @@
+"""Tests for execution-report publication (feed derived from the ME)."""
+
+import pytest
+
+from repro.baselines.base import default_network_specs
+from repro.core.system import DBODeployment
+from repro.exchange.ces import CentralExchangeServer
+from repro.exchange.feed import FeedConfig
+from repro.exchange.messages import Execution, Side, TradeOrder
+from repro.participants.strategies import MarketMaker, SpeedRacer
+from repro.sim.engine import EventEngine
+
+
+class TestCESWiring:
+    def test_requires_execute_trades(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            CentralExchangeServer(engine, publish_executions=True)
+
+    def test_execution_becomes_informational_point(self):
+        engine = EventEngine()
+        ces = CentralExchangeServer(
+            engine, execute_trades=True, publish_executions=True
+        )
+        distributed = []
+        ces.set_distributor(distributed.append)
+        ces.start(stop_time=50.0)
+        engine.run(until=60.0)
+        base_points = len(distributed)
+        # Cross two orders through the ME: one execution, one report.
+        ces.matching_engine.submit(
+            TradeOrder("a", 0, Side.SELL, price=10.0, quantity=1), forward_time=70.0
+        )
+        engine.schedule_at(70.0, lambda: ces.matching_engine.submit(
+            TradeOrder("b", 0, Side.BUY, price=10.0, quantity=1), forward_time=70.0
+        ))
+        engine.run(until=80.0)
+        reports = [p for p in distributed[base_points:] if isinstance(p.payload, Execution)]
+        assert len(reports) == 1
+        assert not reports[0].is_opportunity
+        assert reports[0].payload.price == 10.0
+        assert ces.execution_reports_published == 1
+
+
+class TestDeploymentLoop:
+    def test_reports_flow_through_dbo_without_runaway(self):
+        """Maker + racers with live matching and execution reports: the
+        trade→report→trade loop stays bounded because reports are
+        informational (SpeedRacer ignores non-opportunity points)."""
+
+        def strategies(index):
+            return MarketMaker(quantity=4) if index == 0 else SpeedRacer(seed=index)
+
+        deployment = DBODeployment(
+            default_network_specs(4, seed=5),
+            feed_config=FeedConfig(interval=40.0, price_volatility=0.0),
+            strategy_factory=strategies,
+            execute_trades=True,
+            publish_executions=True,
+            seed=3,
+        )
+        result = deployment.run(duration=4000.0)
+        assert deployment.ces.execution_reports_published > 0
+        # Reports are real data points: delivered to every participant.
+        report_ids = {
+            p.point_id
+            for p in deployment.ces.feed.generated
+            if isinstance(p.payload, Execution)
+        }
+        assert report_ids
+        for mp_id in deployment.mp_ids:
+            delivered = set(result.delivery_times[mp_id])
+            assert report_ids <= delivered
+        # Bounded: one report per execution, no feedback explosion.
+        executions = len(deployment.ces.matching_engine.book.executions)
+        assert deployment.ces.execution_reports_published == executions

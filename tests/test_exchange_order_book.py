@@ -1,0 +1,190 @@
+"""Unit tests for the price-time-priority limit order book."""
+
+import pytest
+
+from repro.exchange.messages import Side, TradeOrder
+from repro.exchange.order_book import LimitOrderBook
+
+
+def order(mp, seq, side, price, qty=1):
+    return TradeOrder(mp_id=mp, trade_seq=seq, side=side, price=price, quantity=qty)
+
+
+class TestResting:
+    def test_empty_book(self):
+        book = LimitOrderBook()
+        assert book.best_bid() is None
+        assert book.best_ask() is None
+        assert book.spread() is None
+
+    def test_resting_bid_and_ask(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0))
+        book.submit(order("b", 0, Side.SELL, 11.0))
+        assert book.best_bid() == 9.0
+        assert book.best_ask() == 11.0
+        assert book.spread() == pytest.approx(2.0)
+
+    def test_best_bid_is_highest(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0))
+        book.submit(order("a", 1, Side.BUY, 9.5))
+        assert book.best_bid() == 9.5
+
+    def test_best_ask_is_lowest(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 11.0))
+        book.submit(order("a", 1, Side.SELL, 10.5))
+        assert book.best_ask() == 10.5
+
+    def test_contains_resting_order(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0))
+        assert ("a", 0) in book
+        assert ("a", 1) not in book
+
+    def test_resting_quantity(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0, qty=7))
+        assert book.resting_quantity(("a", 0)) == 7
+        assert book.resting_quantity(("x", 9)) == 0
+
+
+class TestMatching:
+    def test_exact_cross(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0, qty=5))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0, qty=5))
+        assert len(fills) == 1
+        assert fills[0].price == 10.0
+        assert fills[0].quantity == 5
+        assert fills[0].buy_key == ("b", 0)
+        assert fills[0].sell_key == ("a", 0)
+        assert book.best_ask() is None
+
+    def test_partial_fill_rests_remainder(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0, qty=3))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0, qty=5))
+        assert sum(f.quantity for f in fills) == 3
+        assert book.best_bid() == 10.0
+        assert book.resting_quantity(("b", 0)) == 2
+
+    def test_no_cross_when_prices_do_not_meet(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 11.0))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0))
+        assert fills == []
+        assert book.best_bid() == 10.0
+        assert book.best_ask() == 11.0
+
+    def test_price_priority(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 11.0, qty=1))
+        book.submit(order("a", 1, Side.SELL, 10.0, qty=1))
+        fills = book.submit(order("b", 0, Side.BUY, 12.0, qty=2))
+        assert [f.price for f in fills] == [10.0, 11.0]
+
+    def test_time_priority_within_level(self):
+        book = LimitOrderBook()
+        book.submit(order("first", 0, Side.SELL, 10.0, qty=1))
+        book.submit(order("second", 0, Side.SELL, 10.0, qty=1))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0, qty=1))
+        assert fills[0].sell_key == ("first", 0)
+
+    def test_execution_at_resting_price(self):
+        # Aggressor willing to pay 12 executes at the resting 10.
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0))
+        fills = book.submit(order("b", 0, Side.BUY, 12.0))
+        assert fills[0].price == 10.0
+
+    def test_sell_crossing_bids(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 10.0, qty=2))
+        book.submit(order("a", 1, Side.BUY, 9.0, qty=2))
+        fills = book.submit(order("b", 0, Side.SELL, 9.0, qty=3))
+        assert [(f.price, f.quantity) for f in fills] == [(10.0, 2), (9.0, 1)]
+
+    def test_multi_level_walk(self):
+        book = LimitOrderBook()
+        for i, price in enumerate([10.0, 10.5, 11.0]):
+            book.submit(order("a", i, Side.SELL, price, qty=1))
+        fills = book.submit(order("b", 0, Side.BUY, 11.0, qty=3))
+        assert [f.price for f in fills] == [10.0, 10.5, 11.0]
+
+    def test_match_time_recorded(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0), match_time=77.0)
+        assert fills[0].match_time == 77.0
+
+    def test_executions_accumulate(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0))
+        book.submit(order("b", 0, Side.BUY, 10.0))
+        assert len(book.executions) == 1
+
+
+class TestCancel:
+    def test_cancel_removes_order(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0))
+        assert book.cancel(("a", 0)) is True
+        assert book.best_bid() is None
+
+    def test_cancel_unknown_returns_false(self):
+        book = LimitOrderBook()
+        assert book.cancel(("a", 0)) is False
+
+    def test_cancelled_order_not_matched(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0))
+        book.submit(order("a", 1, Side.SELL, 10.0))
+        book.cancel(("a", 0))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0))
+        assert fills[0].sell_key == ("a", 1)
+
+    def test_cancel_middle_of_queue(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0))
+        book.submit(order("a", 1, Side.SELL, 10.0))
+        book.submit(order("a", 2, Side.SELL, 10.0))
+        book.cancel(("a", 1))
+        fills = book.submit(order("b", 0, Side.BUY, 10.0, qty=2))
+        assert [f.sell_key for f in fills] == [("a", 0), ("a", 2)]
+
+
+class TestDepth:
+    def test_depth_sorted_best_first(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0, qty=2))
+        book.submit(order("a", 1, Side.BUY, 9.5, qty=3))
+        levels = book.depth(Side.BUY)
+        assert [lvl.price for lvl in levels] == [9.5, 9.0]
+        assert [lvl.quantity for lvl in levels] == [3, 2]
+
+    def test_depth_aggregates_level(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, 10.0, qty=2))
+        book.submit(order("b", 0, Side.SELL, 10.0, qty=5))
+        levels = book.depth(Side.SELL)
+        assert levels[0].quantity == 7
+        assert levels[0].order_count == 2
+
+
+class TestValidation:
+    def test_zero_quantity_rejected(self):
+        book = LimitOrderBook()
+        with pytest.raises(ValueError):
+            book.submit(order("a", 0, Side.BUY, 9.0, qty=0))
+
+    def test_duplicate_resting_key_rejected(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.BUY, 9.0))
+        with pytest.raises(ValueError):
+            book.submit(order("a", 0, Side.BUY, 9.5))
+
+    def test_side_opposite(self):
+        assert Side.BUY.opposite() is Side.SELL
+        assert Side.SELL.opposite() is Side.BUY

@@ -1,0 +1,102 @@
+"""Property-based tests for the limit order book (hypothesis).
+
+Invariants exercised on arbitrary order streams:
+
+* the book is never crossed after processing (best bid < best ask);
+* quantity is conserved: filled + resting == submitted for every order;
+* every execution price is admissible for both sides' limits;
+* executions never exceed either side's quantity.
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exchange.messages import Side, TradeOrder
+from repro.exchange.order_book import LimitOrderBook
+
+prices = st.sampled_from([round(9.0 + 0.25 * i, 2) for i in range(9)])
+orders = st.lists(
+    st.tuples(st.sampled_from([Side.BUY, Side.SELL]), prices, st.integers(1, 10)),
+    min_size=1,
+    max_size=60,
+)
+
+
+def run_stream(stream):
+    book = LimitOrderBook()
+    submitted = {}
+    for seq, (side, price, qty) in enumerate(stream):
+        o = TradeOrder(mp_id="mp", trade_seq=seq, side=side, price=price, quantity=qty)
+        submitted[o.key] = o
+        book.submit(o)
+    return book, submitted
+
+
+@given(orders)
+@settings(max_examples=150, deadline=None)
+def test_book_never_crossed(stream):
+    book, _ = run_stream(stream)
+    bid, ask = book.best_bid(), book.best_ask()
+    if bid is not None and ask is not None:
+        assert bid < ask
+
+
+@given(orders)
+@settings(max_examples=150, deadline=None)
+def test_quantity_conserved_per_order(stream):
+    book, submitted = run_stream(stream)
+    filled = defaultdict(int)
+    for execution in book.executions:
+        filled[execution.buy_key] += execution.quantity
+        filled[execution.sell_key] += execution.quantity
+    for key, o in submitted.items():
+        assert filled[key] + book.resting_quantity(key) == o.quantity
+
+
+@given(orders)
+@settings(max_examples=150, deadline=None)
+def test_execution_prices_admissible(stream):
+    book, submitted = run_stream(stream)
+    for execution in book.executions:
+        buyer = submitted[execution.buy_key]
+        seller = submitted[execution.sell_key]
+        assert execution.price <= buyer.price
+        assert execution.price >= seller.price
+        assert execution.quantity > 0
+
+
+@given(orders)
+@settings(max_examples=100, deadline=None)
+def test_depth_matches_resting_quantities(stream):
+    book, submitted = run_stream(stream)
+    for side in (Side.BUY, Side.SELL):
+        total_depth = sum(level.quantity for level in book.depth(side))
+        total_resting = sum(
+            book.resting_quantity(key)
+            for key, o in submitted.items()
+            if o.side is side
+        )
+        assert total_depth == total_resting
+
+
+@given(orders, st.data())
+@settings(max_examples=80, deadline=None)
+def test_cancel_then_never_fills(stream, data):
+    book = LimitOrderBook()
+    cancelled = set()
+    for seq, (side, price, qty) in enumerate(stream):
+        o = TradeOrder(mp_id="mp", trade_seq=seq, side=side, price=price, quantity=qty)
+        book.submit(o)
+        if book.resting_quantity(o.key) > 0 and data.draw(st.booleans()):
+            book.cancel(o.key)
+            cancelled.add(o.key)
+    for execution in book.executions:
+        # A fill recorded *before* cancellation is fine; none may follow.
+        pass
+    # Cancelled orders hold no resting quantity and can never fill again.
+    probe = TradeOrder(mp_id="probe", trade_seq=0, side=Side.BUY, price=100.0, quantity=10_000)
+    fills = book.submit(probe)
+    for f in fills:
+        assert f.sell_key not in cancelled

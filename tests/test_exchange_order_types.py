@@ -1,0 +1,163 @@
+"""Tests for market orders, IOC/FOK time-in-force, and cancel-replace."""
+
+import pytest
+
+from repro.exchange.messages import OrderType, Side, TimeInForce, TradeOrder
+from repro.exchange.order_book import LimitOrderBook
+
+
+def order(mp, seq, side, price=0.0, qty=1, otype=OrderType.LIMIT, tif=TimeInForce.GTC):
+    return TradeOrder(
+        mp_id=mp,
+        trade_seq=seq,
+        side=side,
+        price=price,
+        quantity=qty,
+        order_type=otype,
+        time_in_force=tif,
+    )
+
+
+class TestDefaults:
+    def test_orders_default_to_limit_gtc(self):
+        o = TradeOrder(mp_id="a", trade_seq=0)
+        assert o.order_type is OrderType.LIMIT
+        assert o.time_in_force is TimeInForce.GTC
+
+
+class TestMarketOrders:
+    def test_market_order_crosses_at_any_price(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=999.0, qty=2))
+        fills = book.submit(
+            order("b", 0, Side.BUY, qty=2, otype=OrderType.MARKET, tif=TimeInForce.IOC)
+        )
+        assert sum(f.quantity for f in fills) == 2
+        assert fills[0].price == 999.0
+
+    def test_market_order_walks_levels(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=1))
+        book.submit(order("a", 1, Side.SELL, price=20.0, qty=1))
+        fills = book.submit(
+            order("b", 0, Side.BUY, qty=2, otype=OrderType.MARKET, tif=TimeInForce.IOC)
+        )
+        assert [f.price for f in fills] == [10.0, 20.0]
+
+    def test_market_remainder_never_rests(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=1))
+        book.submit(
+            order("b", 0, Side.BUY, qty=5, otype=OrderType.MARKET, tif=TimeInForce.IOC)
+        )
+        assert book.best_bid() is None
+
+    def test_market_gtc_rejected(self):
+        book = LimitOrderBook()
+        with pytest.raises(ValueError):
+            book.submit(order("b", 0, Side.BUY, qty=1, otype=OrderType.MARKET))
+
+
+class TestIOC:
+    def test_ioc_fills_what_it_can_then_dies(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=3))
+        fills = book.submit(
+            order("b", 0, Side.BUY, price=10.0, qty=5, tif=TimeInForce.IOC)
+        )
+        assert sum(f.quantity for f in fills) == 3
+        assert book.resting_quantity(("b", 0)) == 0
+        assert book.best_bid() is None
+
+    def test_ioc_no_liquidity_no_fill(self):
+        book = LimitOrderBook()
+        fills = book.submit(
+            order("b", 0, Side.BUY, price=10.0, qty=5, tif=TimeInForce.IOC)
+        )
+        assert fills == []
+        assert book.best_bid() is None
+
+
+class TestFOK:
+    def test_fok_fills_fully_when_possible(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=3))
+        book.submit(order("a", 1, Side.SELL, price=11.0, qty=3))
+        fills = book.submit(
+            order("b", 0, Side.BUY, price=11.0, qty=5, tif=TimeInForce.FOK)
+        )
+        assert sum(f.quantity for f in fills) == 5
+
+    def test_fok_kills_when_insufficient(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=3))
+        fills = book.submit(
+            order("b", 0, Side.BUY, price=10.0, qty=5, tif=TimeInForce.FOK)
+        )
+        assert fills == []
+        # Resting liquidity untouched.
+        assert book.resting_quantity(("a", 0)) == 3
+
+    def test_fok_respects_limit_price(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=3))
+        book.submit(order("a", 1, Side.SELL, price=12.0, qty=3))
+        # 5 lots exist but only 3 within the limit: kill.
+        fills = book.submit(
+            order("b", 0, Side.BUY, price=10.0, qty=5, tif=TimeInForce.FOK)
+        )
+        assert fills == []
+
+    def test_market_fok(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=50.0, qty=5))
+        fills = book.submit(
+            order("b", 0, Side.BUY, qty=5, otype=OrderType.MARKET, tif=TimeInForce.FOK)
+        )
+        assert sum(f.quantity for f in fills) == 5
+
+
+class TestReplace:
+    def test_quantity_reduction_keeps_priority(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=5))
+        book.submit(order("c", 0, Side.SELL, price=10.0, qty=5))
+        book.replace(("a", 0), order("a", 1, Side.SELL, price=10.0, qty=2))
+        fills = book.submit(order("b", 0, Side.BUY, price=10.0, qty=2))
+        # The reduced order kept its front-of-queue spot.
+        assert fills[0].sell_key == ("a", 1)
+
+    def test_price_change_loses_priority(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=2))
+        book.submit(order("c", 0, Side.SELL, price=9.5, qty=2))
+        book.replace(("a", 0), order("a", 1, Side.SELL, price=9.5, qty=2))
+        fills = book.submit(order("b", 0, Side.BUY, price=9.5, qty=2))
+        assert fills[0].sell_key == ("c", 0)  # c was at 9.5 first
+
+    def test_quantity_increase_loses_priority(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=2))
+        book.submit(order("c", 0, Side.SELL, price=10.0, qty=2))
+        book.replace(("a", 0), order("a", 1, Side.SELL, price=10.0, qty=9))
+        fills = book.submit(order("b", 0, Side.BUY, price=10.0, qty=2))
+        assert fills[0].sell_key == ("c", 0)
+
+    def test_replace_can_cross(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=11.0, qty=1))
+        book.submit(order("b", 0, Side.BUY, price=10.0, qty=1))
+        fills = book.replace(("b", 0), order("b", 1, Side.BUY, price=11.0, qty=1))
+        assert len(fills) == 1
+
+    def test_replace_unknown_rejected(self):
+        book = LimitOrderBook()
+        with pytest.raises(KeyError):
+            book.replace(("a", 0), order("a", 1, Side.SELL, price=10.0))
+
+    def test_replaced_key_tracks_new_order(self):
+        book = LimitOrderBook()
+        book.submit(order("a", 0, Side.SELL, price=10.0, qty=5))
+        book.replace(("a", 0), order("a", 1, Side.SELL, price=10.0, qty=2))
+        assert ("a", 0) not in book
+        assert book.resting_quantity(("a", 1)) == 2

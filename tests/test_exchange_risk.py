@@ -1,0 +1,112 @@
+"""Tests for the pre-trade risk gate."""
+
+import pytest
+
+from repro.exchange.matching import MatchingEngine
+from repro.exchange.messages import Execution, Side, TradeOrder
+from repro.exchange.risk import Rejection, RiskGate, RiskLimits
+
+
+def order(mp, seq, side=Side.BUY, qty=1, price=10.0):
+    return TradeOrder(mp_id=mp, trade_seq=seq, side=side, quantity=qty, price=price)
+
+
+def make_gate(**limit_kwargs):
+    passed = []
+    gate = RiskGate(
+        RiskLimits(**limit_kwargs),
+        sink=lambda o, t: passed.append((o.key, t)),
+    )
+    return gate, passed
+
+
+class TestLimitsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_order_size": 0},
+            {"max_position": -1},
+            {"max_orders_per_window": 0},
+            {"rate_window": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RiskLimits(**kwargs)
+
+
+class TestOrderSize:
+    def test_oversized_rejected(self):
+        gate, passed = make_gate(max_order_size=10)
+        assert not gate.submit(order("a", 0, qty=11), 1.0)
+        assert gate.submit(order("a", 1, qty=10), 2.0)
+        assert [k for k, _ in passed] == [("a", 1)]
+        assert gate.rejection_counts() == {"max_order_size": 1}
+
+    def test_disabled_check_passes_everything(self):
+        gate, passed = make_gate()
+        assert gate.submit(order("a", 0, qty=10**6), 1.0)
+
+
+class TestPosition:
+    def test_position_limit_blocks_accumulation(self):
+        gate, passed = make_gate(max_position=5)
+        # Build position via executions (fills).
+        gate.on_execution(Execution(("a", 0), ("b", 0), 10.0, 4, 1.0))
+        assert gate.position_of("a") == 4
+        assert gate.position_of("b") == -4
+        # a buying 2 more would reach |6| > 5: rejected.
+        assert not gate.submit(order("a", 1, Side.BUY, qty=2), 2.0)
+        # a selling reduces exposure: allowed.
+        assert gate.submit(order("a", 2, Side.SELL, qty=2), 3.0)
+        # b is short 4: selling 2 more would hit |-6|: rejected.
+        assert not gate.submit(order("b", 1, Side.SELL, qty=2), 4.0)
+
+    def test_conservative_full_fill_assumption(self):
+        gate, _ = make_gate(max_position=3)
+        assert not gate.submit(order("a", 0, qty=4), 1.0)
+
+
+class TestRate:
+    def test_rolling_window(self):
+        gate, passed = make_gate(max_orders_per_window=2, rate_window=100.0)
+        assert gate.submit(order("a", 0), 0.0)
+        assert gate.submit(order("a", 1), 10.0)
+        assert not gate.submit(order("a", 2), 20.0)   # 3rd in 100 µs
+        assert gate.submit(order("a", 3), 150.0)      # window slid
+        assert gate.rejection_counts() == {"order_rate": 1}
+
+    def test_rate_is_per_participant(self):
+        gate, _ = make_gate(max_orders_per_window=1, rate_window=100.0)
+        assert gate.submit(order("a", 0), 0.0)
+        assert gate.submit(order("b", 0), 1.0)
+        assert not gate.submit(order("a", 1), 2.0)
+
+
+class TestOverridesAndWiring:
+    def test_per_participant_overrides(self):
+        gate, _ = make_gate(max_order_size=10)
+        gate.set_limits("whale", RiskLimits(max_order_size=1000))
+        assert gate.submit(order("whale", 0, qty=500), 1.0)
+        assert not gate.submit(order("minnow", 0, qty=500), 2.0)
+
+    def test_requires_sink(self):
+        gate = RiskGate(RiskLimits())
+        with pytest.raises(RuntimeError):
+            gate.submit(order("a", 0), 1.0)
+
+    def test_order_preserving_with_matching_engine(self):
+        me = MatchingEngine(execute=False)
+        gate = RiskGate(RiskLimits(max_order_size=5), sink=me.submit)
+        gate.submit(order("a", 0, qty=1), 1.0)
+        gate.submit(order("b", 0, qty=99), 2.0)   # rejected
+        gate.submit(order("c", 0, qty=2), 3.0)
+        assert me.ordering() == [("a", 0), ("c", 0)]
+
+    def test_rejection_record(self):
+        gate, _ = make_gate(max_order_size=1)
+        gate.submit(order("a", 0, qty=2), 7.0)
+        rejection = gate.rejections[0]
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == "max_order_size"
+        assert rejection.at == 7.0

@@ -1,0 +1,108 @@
+"""Integration tests for component crashes (§4.2.1 failure discussion)."""
+
+import pytest
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.metrics.fairness import evaluate_fairness, pairwise_correct
+from repro.metrics.latency import trade_latencies
+from repro.net.latency import ConstantLatency
+
+
+def quiet_specs(n=4):
+    return [
+        NetworkSpec(
+            forward=ConstantLatency(10.0 + i), reverse=ConstantLatency(10.0 + i)
+        )
+        for i in range(n)
+    ]
+
+
+CRASH_AT = 10_000.0
+DURATION = 25_000.0
+
+
+class TestRBCrash:
+    def build(self, threshold):
+        deployment = DBODeployment(
+            quiet_specs(),
+            params=DBOParams(delta=20.0, straggler_threshold=threshold),
+            seed=4,
+        )
+
+        def crash():
+            deployment.release_buffers[0].crash()
+
+        deployment.engine.schedule_at(CRASH_AT, crash)
+        return deployment
+
+    def test_without_mitigation_market_stalls(self):
+        deployment = self.build(threshold=None)
+        result = deployment.run(duration=DURATION, drain=30_000.0)
+        # Trades submitted after the crash never release: the OB waits
+        # forever for mp0's watermark to advance.
+        incomplete = [t for t in result.trades if not t.completed]
+        assert incomplete
+        assert all(t.submission_time > CRASH_AT - 100.0 for t in incomplete)
+
+    def test_with_mitigation_market_continues(self):
+        deployment = self.build(threshold=500.0)
+        result = deployment.run(duration=DURATION, drain=30_000.0)
+        # Healthy participants' trades all complete, with sane latency.
+        healthy = [t for t in result.trades if t.mp_id != "mp0"]
+        assert all(t.completed for t in healthy)
+        latencies = [
+            t.forward_time - result.generation_times[t.trigger_point] - t.response_time
+            for t in healthy
+        ]
+        assert max(latencies) < 1000.0
+        # The crashed participant stops producing trades entirely.
+        mp0_after = [
+            t
+            for t in result.trades
+            if t.mp_id == "mp0" and t.submission_time > CRASH_AT + 100.0
+        ]
+        assert not [t for t in mp0_after if t.completed]
+
+    def test_healthy_races_stay_fair_after_crash(self):
+        deployment = self.build(threshold=500.0)
+        result = deployment.run(duration=DURATION, drain=30_000.0)
+        for trades in result.trades_by_trigger().values():
+            healthy = [t for t in trades if t.mp_id != "mp0"]
+            for i in range(len(healthy)):
+                for j in range(i + 1, len(healthy)):
+                    assert pairwise_correct(healthy[i], healthy[j]) in (None, True)
+
+
+class TestOBCrash:
+    def test_queued_trades_lost_market_recovers(self):
+        deployment = DBODeployment(
+            quiet_specs(), params=DBOParams(delta=20.0), seed=5
+        )
+
+        def crash():
+            deployment.ordering_buffer.crash()
+
+        # _build runs lazily inside run(); schedule the crash via a timer
+        # that resolves the OB at fire time.
+        deployment.engine.schedule_at(CRASH_AT, crash)
+        result = deployment.run(duration=DURATION, drain=30_000.0)
+        ob = deployment.ordering_buffer
+        assert ob.trades_lost_to_crash > 0
+        # Lost trades are exactly the incomplete ones.
+        incomplete = [t for t in result.trades if not t.completed]
+        assert len(incomplete) == ob.trades_lost_to_crash
+        # All in-flight around the crash instant.
+        assert all(abs(t.submission_time - CRASH_AT) < 500.0 for t in incomplete)
+        # The market recovers: later trades complete and stay fair.
+        later_races = {
+            trig: trades
+            for trig, trades in result.trades_by_trigger().items()
+            if all(t.submission_time > CRASH_AT + 1000.0 for t in trades)
+        }
+        assert later_races
+        for trades in later_races.values():
+            for i in range(len(trades)):
+                for j in range(i + 1, len(trades)):
+                    assert pairwise_correct(trades[i], trades[j]) in (None, True)

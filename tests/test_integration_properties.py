@@ -1,0 +1,146 @@
+"""Property-based end-to-end tests: DBO's guarantees on random networks.
+
+The central claim of the paper — DBO achieves LRTF in a *guaranteed*
+manner for any network with in-order delivery — is checked here with
+hypothesis generating arbitrary (bounded) network shapes, DBO parameters
+and workloads.  Every generated run must show:
+
+* zero LRTF violations (Definition 2),
+* zero causality violations (Eq. 4),
+* delivery schedules satisfying Corollary 1's necessary condition.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import NetworkSpec
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.exchange.feed import FeedConfig
+from repro.metrics.fairness import evaluate_fairness
+from repro.net.latency import (
+    CompositeLatency,
+    ConstantLatency,
+    StepLatency,
+    UniformJitterLatency,
+)
+from repro.participants.response_time import RaceResponseTime, UniformResponseTime
+from repro.sim.randomness import stable_u64
+from repro.theory.fairness_defs import (
+    causality_condition_violations,
+    lrtf_violations,
+)
+
+# --- strategy: one participant's network -----------------------------------
+
+
+@st.composite
+def network_spec(draw, seed):
+    kind = draw(st.sampled_from(["constant", "jitter", "spike"]))
+    base_f = draw(st.floats(min_value=1.0, max_value=40.0))
+    base_r = draw(st.floats(min_value=1.0, max_value=40.0))
+    if kind == "constant":
+        fwd = ConstantLatency(base_f)
+        rev = ConstantLatency(base_r)
+    elif kind == "jitter":
+        jitter = draw(st.floats(min_value=0.1, max_value=15.0))
+        fwd = UniformJitterLatency(base_f, jitter, seed=stable_u64(seed, 0))
+        rev = UniformJitterLatency(base_r, jitter, seed=stable_u64(seed, 1))
+    else:
+        height = draw(st.floats(min_value=20.0, max_value=300.0))
+        start = draw(st.floats(min_value=100.0, max_value=1500.0))
+        width = draw(st.floats(min_value=50.0, max_value=500.0))
+        fwd = CompositeLatency(
+            [ConstantLatency(base_f), StepLatency([(0.0, 0.0), (start, height), (start + width, 0.0)])]
+        )
+        rev = ConstantLatency(base_r)
+    return NetworkSpec(forward=fwd, reverse=rev)
+
+
+@st.composite
+def scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    specs = [draw(network_spec(seed=i)) for i in range(n)]
+    delta = draw(st.sampled_from([10.0, 20.0, 45.0]))
+    kappa = draw(st.sampled_from([0.1, 0.25, 1.0]))
+    tau = draw(st.sampled_from([10.0, 20.0]))
+    interval = draw(st.sampled_from([20.0, 40.0, 60.0]))
+    tight = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    if tight:
+        rt_model = RaceResponseTime(n, low=2.0, high=delta - 0.5, gap=0.2, seed=seed)
+    else:
+        rt_model = UniformResponseTime(low=2.0, high=delta - 0.5, seed=seed)
+    return specs, DBOParams(delta=delta, kappa=kappa, tau=tau), interval, rt_model, seed
+
+
+@given(scenario())
+@settings(max_examples=25, deadline=None)
+def test_dbo_guarantees_lrtf_on_arbitrary_networks(params_tuple):
+    """With drift-free RB clocks, LRTF holds exactly — zero violations."""
+    specs, params, interval, rt_model, seed = params_tuple
+    deployment = DBODeployment(
+        specs,
+        params=params,
+        feed_config=FeedConfig(interval=interval),
+        response_time_model=rt_model,
+        seed=seed,
+        rb_clock_drift=0.0,
+    )
+    result = deployment.run(duration=2000.0, drain=10_000.0)
+    assert lrtf_violations(result, delta=params.delta) == []
+    assert causality_condition_violations(result) == []
+
+
+@given(scenario())
+@settings(max_examples=20, deadline=None)
+def test_dbo_guarantees_lrtf_up_to_drift_margin(params_tuple):
+    """With drifting RB clocks (rate ε), LRTF holds for every pair whose
+    response-time margin exceeds ~2·ε·δ — the drift-adjusted guarantee."""
+    specs, params, interval, rt_model, seed = params_tuple
+    drift = 1e-4
+    deployment = DBODeployment(
+        specs,
+        params=params,
+        feed_config=FeedConfig(interval=interval),
+        response_time_model=rt_model,
+        seed=seed,
+        rb_clock_drift=drift,
+    )
+    result = deployment.run(duration=2000.0, drain=10_000.0)
+    margin = 2.0 * drift * params.delta
+    assert lrtf_violations(result, delta=params.delta, min_margin=margin) == []
+
+
+@given(scenario())
+@settings(max_examples=15, deadline=None)
+def test_dbo_orders_within_horizon_races_perfectly(params_tuple):
+    specs, params, interval, rt_model, seed = params_tuple
+    deployment = DBODeployment(
+        specs,
+        params=params,
+        feed_config=FeedConfig(interval=interval),
+        response_time_model=rt_model,
+        seed=seed,
+        rb_clock_drift=0.0,
+    )
+    result = deployment.run(duration=2000.0, drain=10_000.0)
+    # All response times were drawn below δ, so LRTF ⇒ full fairness.
+    report = evaluate_fairness(result)
+    assert report.ratio == 1.0
+
+
+@given(scenario())
+@settings(max_examples=10, deadline=None)
+def test_dbo_trades_all_complete_with_generous_drain(params_tuple):
+    specs, params, interval, rt_model, seed = params_tuple
+    deployment = DBODeployment(
+        specs,
+        params=params,
+        feed_config=FeedConfig(interval=interval),
+        response_time_model=rt_model,
+        seed=seed,
+    )
+    result = deployment.run(duration=2000.0, drain=20_000.0)
+    assert result.completion_ratio() == 1.0

@@ -1,0 +1,59 @@
+"""Tests for the dependency-free terminal plotter."""
+
+import pytest
+
+from repro.metrics.ascii_plot import ascii_plot
+
+
+def test_single_series_renders():
+    text = ascii_plot({"line": [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]}, width=20, height=5)
+    lines = text.splitlines()
+    assert "* line" in lines[0]
+    assert any("*" in line for line in lines[1:])
+
+
+def test_markers_differ_per_series():
+    text = ascii_plot(
+        {"a": [(0.0, 0.0)], "b": [(1.0, 1.0)]}, width=20, height=5
+    )
+    assert "* a" in text and "o b" in text
+
+
+def test_extremes_mapped_to_corners():
+    text = ascii_plot({"s": [(0.0, 0.0), (10.0, 5.0)]}, width=30, height=6)
+    rows = [line for line in text.splitlines() if "|" in line]
+    # Max y in the top row, min y in the bottom row.
+    assert "*" in rows[0]
+    assert "*" in rows[-1]
+
+
+def test_axis_labels_present():
+    text = ascii_plot({"s": [(2.0, 7.0), (12.0, 42.0)]}, width=25, height=5)
+    assert "42" in text
+    assert "7" in text
+    assert "12" in text
+
+
+def test_constant_series_does_not_divide_by_zero():
+    text = ascii_plot({"flat": [(0.0, 5.0), (1.0, 5.0)]}, width=20, height=5)
+    assert "*" in text
+
+
+def test_title_and_labels():
+    text = ascii_plot(
+        {"s": [(0.0, 1.0)]}, width=20, height=5, title="T", x_label="time", y_label="lat"
+    )
+    assert text.splitlines()[0] == "T"
+    assert "lat vs time" in text
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": []})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0.0, 1.0)]}, width=5, height=2)

@@ -1,0 +1,65 @@
+"""Unit tests for RunResult/TradeRecord helpers."""
+
+import pytest
+
+from repro.metrics.records import RunResult, TradeRecord
+
+
+def record(mp, seq, trigger, rt=5.0, s=0.0, f=None, pos=None):
+    return TradeRecord(
+        mp_id=mp,
+        trade_seq=seq,
+        trigger_point=trigger,
+        response_time=rt,
+        submission_time=s,
+        forward_time=f,
+        position=pos,
+    )
+
+
+def run_of(trades, raw=None):
+    return RunResult(
+        scheme="test",
+        trades=trades,
+        generation_times={0: 0.0},
+        network_send_times={0: 0.0},
+        raw_arrivals=raw or {"b": {0: 1.0}, "a": {0: 2.0}},
+        delivery_times={},
+    )
+
+
+class TestTradeRecord:
+    def test_key(self):
+        assert record("a", 3, 0).key == ("a", 3)
+
+    def test_completed_requires_both_fields(self):
+        assert not record("a", 0, 0).completed
+        assert not record("a", 0, 0, f=1.0).completed
+        assert record("a", 0, 0, f=1.0, pos=0).completed
+
+
+class TestRunResult:
+    def test_participant_ids_sorted(self):
+        assert run_of([]).participant_ids == ["a", "b"]
+
+    def test_completed_trades_filtered(self):
+        trades = [record("a", 0, 0, f=1.0, pos=0), record("a", 1, 0)]
+        result = run_of(trades)
+        assert len(result.completed_trades) == 1
+
+    def test_trades_by_trigger_skips_incomplete(self):
+        trades = [
+            record("a", 0, 0, f=1.0, pos=0),
+            record("b", 0, 0),  # incomplete: not grouped
+            record("a", 1, 7, f=2.0, pos=1),
+        ]
+        races = run_of(trades).trades_by_trigger()
+        assert set(races) == {0, 7}
+        assert len(races[0]) == 1
+
+    def test_completion_ratio(self):
+        trades = [record("a", 0, 0, f=1.0, pos=0), record("a", 1, 0)]
+        assert run_of(trades).completion_ratio() == 0.5
+
+    def test_completion_ratio_empty_is_one(self):
+        assert run_of([]).completion_ratio() == 1.0

@@ -1,0 +1,135 @@
+"""Unit tests for trace generation, persistence, and the §6.4 recipe."""
+
+import pytest
+
+from repro.net.trace import (
+    NetworkTrace,
+    generate_figure11_trace,
+    load_trace_csv,
+    one_way_models_from_trace,
+    save_trace_csv,
+)
+
+
+class TestNetworkTrace:
+    def test_duration(self):
+        trace = NetworkTrace([0.0, 10.0, 20.0], [1.0, 2.0, 3.0])
+        assert trace.duration == 20.0
+
+    def test_stats(self):
+        trace = NetworkTrace([0.0, 1.0, 2.0, 3.0], [10.0, 20.0, 30.0, 40.0])
+        assert trace.min_value() == 10.0
+        assert trace.max_value() == 40.0
+        assert trace.mean_value() == 25.0
+        assert trace.percentile(0.0) == 10.0
+        assert trace.percentile(100.0) == 40.0
+
+    def test_percentile_validation(self):
+        trace = NetworkTrace([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            trace.percentile(101.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTrace([0.0, 1.0], [1.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTrace([0.0], [1.0])
+
+    def test_to_model(self):
+        trace = NetworkTrace([0.0, 10.0], [100.0, 200.0])
+        model = trace.to_model(scale=0.5)
+        assert model.latency_at(0.0) == pytest.approx(50.0)
+
+
+class TestFigure11Generator:
+    def test_default_shape(self):
+        trace = generate_figure11_trace()
+        assert trace.duration == pytest.approx(2_000_000.0)
+        # Base band around 55 µs RTT.
+        assert 54.0 <= trace.min_value() <= 60.0
+        # Spikes reach several hundred µs.
+        assert trace.max_value() > 150.0
+
+    def test_deterministic(self):
+        a = generate_figure11_trace(seed=5)
+        b = generate_figure11_trace(seed=5)
+        assert a.values == b.values
+
+    def test_seed_changes_trace(self):
+        a = generate_figure11_trace(seed=5)
+        b = generate_figure11_trace(seed=6)
+        assert a.values != b.values
+
+    def test_no_spikes(self):
+        trace = generate_figure11_trace(spike_count=0, base_rtt=50.0, jitter=2.0)
+        assert trace.max_value() <= 52.0
+
+    def test_spike_count_scales_peaks(self):
+        quiet = generate_figure11_trace(spike_count=1, duration=100_000.0)
+        busy = generate_figure11_trace(spike_count=10, duration=100_000.0)
+        above = lambda t: sum(1 for v in t.values if v > 100.0)
+        assert above(busy) > above(quiet)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_figure11_trace(duration=0.0)
+        with pytest.raises(ValueError):
+            generate_figure11_trace(spike_count=-1)
+
+
+class TestOneWayModels:
+    def test_returns_pairs_per_participant(self):
+        trace = generate_figure11_trace(duration=100_000.0)
+        models = one_way_models_from_trace(trace, 5, seed=1)
+        assert len(models) == 5
+
+    def test_values_are_halved(self):
+        trace = NetworkTrace([0.0, 100.0], [50.0, 50.0])
+        models = one_way_models_from_trace(trace, 3, seed=1)
+        for forward, reverse in models:
+            assert forward.latency_at(10.0) == pytest.approx(25.0)
+            assert reverse.latency_at(10.0) == pytest.approx(25.0)
+
+    def test_slices_differ_across_participants(self):
+        trace = generate_figure11_trace(duration=200_000.0)
+        models = one_way_models_from_trace(trace, 4, seed=2)
+        values = {round(fwd.latency_at(0.0), 9) for fwd, _ in models}
+        assert len(values) > 1
+
+    def test_deterministic(self):
+        trace = generate_figure11_trace(duration=100_000.0)
+        a = one_way_models_from_trace(trace, 3, seed=9)
+        b = one_way_models_from_trace(trace, 3, seed=9)
+        for (fa, ra), (fb, rb) in zip(a, b):
+            assert fa.latency_at(123.0) == fb.latency_at(123.0)
+            assert ra.latency_at(123.0) == rb.latency_at(123.0)
+
+    def test_validation(self):
+        trace = generate_figure11_trace(duration=100_000.0)
+        with pytest.raises(ValueError):
+            one_way_models_from_trace(trace, 0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_figure11_trace(duration=50_000.0)
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded.times) == len(trace.times)
+        assert loaded.values[0] == pytest.approx(trace.values[0], abs=1e-3)
+        assert loaded.values[-1] == pytest.approx(trace.values[-1], abs=1e-3)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace_csv(str(path))
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_us,rtt_us\n1.0\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(str(path))

@@ -1,0 +1,63 @@
+"""Public-API integrity: exports resolve, __all__ lists are honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.exchange",
+    "repro.participants",
+    "repro.core",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.theory",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_all_entries(package):
+    module = importlib.import_module(package)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_top_level_quickstart_surface():
+    import repro
+
+    for name in [
+        "DBODeployment",
+        "DBOParams",
+        "NetworkSpec",
+        "run_scheme",
+        "summarize",
+        "cloud_specs",
+        "evaluate_fairness",
+        "RaceResponseTime",
+    ]:
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_cli_module_entry_point():
+    from repro.cli import main
+
+    assert callable(main)

@@ -1,0 +1,88 @@
+"""Golden regression tests: exact deterministic outputs for fixed seeds.
+
+Everything in this repository is deterministic — hash-based randomness,
+a tie-broken event heap — so small runs have exactly reproducible
+outputs.  These tests pin a handful of them.  If a refactor changes any
+value here, either it altered behaviour (a bug) or it deliberately
+changed semantics (update the goldens and say why in the commit).
+"""
+
+import pytest
+
+from repro.baselines.base import default_network_specs
+from repro.baselines.direct import DirectDeployment
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.system import DBODeployment
+from repro.metrics.fairness import evaluate_fairness
+from repro.metrics.latency import latency_stats
+from repro.net.latency import UniformJitterLatency
+from repro.sim.randomness import stable_u64, stable_unit
+
+
+class TestRandomnessGoldens:
+    """The stable mixer must never change: every seed in the repo
+    (scenarios, workloads, latency draws) depends on it."""
+
+    def test_stable_u64_values(self):
+        assert stable_u64(0) == 16294208416658607535
+        assert stable_u64(1, 2, 3) == 15020427595393229491
+        assert stable_u64(42, -1) == 14714397866638982195
+
+    def test_stable_unit_value(self):
+        assert stable_unit(7, 11) == pytest.approx(0.8384540140198182, abs=1e-15)
+
+
+class TestLatencyModelGoldens:
+    def test_uniform_jitter_sample(self):
+        model = UniformJitterLatency(10.0, 4.0, seed=1)
+        # Pin one concrete draw.
+        assert model.latency_at(1000.0) == pytest.approx(13.707704684514146, abs=1e-12)
+        assert model.latency_at(1000.9) == model.latency_at(1000.0)  # same slot
+
+
+class TestRunGoldens:
+    def test_dbo_small_run_fingerprint(self):
+        deployment = DBODeployment(default_network_specs(3, seed=9), seed=3)
+        result = deployment.run(duration=3000.0)
+        assert len(result.trades) == 225  # 75 ticks x 3 MPs
+        assert result.completion_ratio() == 1.0
+        assert evaluate_fairness(result).correct_pairs == 225
+        assert evaluate_fairness(result).total_pairs == 225
+        # The final ordering is a deterministic fingerprint of the whole
+        # pipeline; pin its first and last entries and a checksum.
+        ordering = deployment.ces.matching_engine.ordering()
+        assert len(ordering) == 225
+        assert ordering[0][1] == 0
+        mp_counts = {mp: sum(1 for k in ordering if k[0] == mp) for mp in deployment.mp_ids}
+        assert mp_counts == {"mp0": 75, "mp1": 75, "mp2": 75}
+
+    def test_direct_small_run_fairness_is_stable(self):
+        deployment = DirectDeployment(default_network_specs(3, seed=9), seed=3)
+        result = deployment.run(duration=3000.0)
+        report = evaluate_fairness(result)
+        first = (report.correct_pairs, report.total_pairs)
+        # Re-run from scratch: bit-identical.
+        deployment2 = DirectDeployment(default_network_specs(3, seed=9), seed=3)
+        report2 = evaluate_fairness(deployment2.run(duration=3000.0))
+        assert (report2.correct_pairs, report2.total_pairs) == first
+
+    def test_latency_reproducible_to_the_bit(self):
+        def run():
+            deployment = DBODeployment(default_network_specs(2, seed=9), seed=3)
+            return latency_stats(deployment.run(duration=2000.0))
+
+        a, b = run(), run()
+        assert a.avg == b.avg
+        assert a.p999 == b.p999
+
+
+class TestStampGoldens:
+    def test_stamp_ordering_table(self):
+        stamps = [
+            DeliveryClockStamp(0, 0.0),
+            DeliveryClockStamp(0, 5.0),
+            DeliveryClockStamp(1, 0.0),
+            DeliveryClockStamp(1, 0.0001),
+            DeliveryClockStamp(2, 100.0),
+        ]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,112 @@
+"""Tests for telemetry probes and the deployment wiring."""
+
+import pytest
+
+from repro.baselines.base import NetworkSpec, default_network_specs
+from repro.core.system import DBODeployment
+from repro.net.latency import CompositeLatency, ConstantLatency, StepLatency
+from repro.sim.engine import EventEngine
+from repro.sim.telemetry import Probe, TelemetryRecorder
+
+
+class TestProbe:
+    def test_samples_on_cadence(self):
+        engine = EventEngine()
+        counter = {"v": 0.0}
+        probe = Probe(engine, "p", lambda: counter["v"], interval=10.0)
+        probe.start(start_time=0.0)
+        engine.schedule_at(25.0, lambda: counter.update(v=5.0))
+        engine.run(until=50.0)
+        times = [t for t, _ in probe.samples]
+        assert times == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+        assert probe.samples[2][1] == 0.0
+        assert probe.samples[3][1] == 5.0
+
+    def test_stop_time_respected(self):
+        engine = EventEngine()
+        probe = Probe(engine, "p", lambda: 1.0, interval=10.0)
+        probe.start(start_time=0.0, stop_time=25.0)
+        engine.run(until=100.0)
+        assert all(t <= 25.0 for t, _ in probe.samples)
+
+    def test_statistics(self):
+        engine = EventEngine()
+        values = iter([0.0, 2.0, 4.0, 0.0, 0.0])
+        probe = Probe(engine, "p", lambda: next(values), interval=10.0)
+        probe.start(start_time=0.0, stop_time=40.0)
+        engine.run(until=100.0)
+        assert probe.maximum() == 4.0
+        assert probe.mean() == pytest.approx(1.2)
+        # Above 1.0 between samples at t=10 and t=30: 20 µs.
+        assert probe.time_above(1.0) == pytest.approx(20.0)
+
+    def test_empty_probe_statistics_raise(self):
+        engine = EventEngine()
+        probe = Probe(engine, "p", lambda: 1.0, interval=10.0)
+        with pytest.raises(ValueError):
+            probe.maximum()
+
+    def test_validation(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            Probe(engine, "p", lambda: 1.0, interval=0.0)
+        probe = Probe(engine, "p", lambda: 1.0, interval=1.0)
+        probe.start()
+        with pytest.raises(RuntimeError):
+            probe.start()
+
+
+class TestRecorder:
+    def test_bundles_probes(self):
+        engine = EventEngine()
+        recorder = TelemetryRecorder(engine, interval=10.0)
+        recorder.add("a", lambda: 1.0)
+        recorder.add("b", lambda: 2.0)
+        recorder.start_all(stop_time=20.0)
+        engine.run(until=50.0)
+        series = recorder.series()
+        assert set(series) == {"a", "b"}
+        assert len(series["a"]) == 3
+
+    def test_duplicate_name_rejected(self):
+        recorder = TelemetryRecorder(EventEngine())
+        recorder.add("a", lambda: 1.0)
+        with pytest.raises(ValueError):
+            recorder.add("a", lambda: 2.0)
+
+    def test_summary_rows(self):
+        engine = EventEngine()
+        recorder = TelemetryRecorder(engine, interval=10.0)
+        recorder.add("a", lambda: 3.0)
+        recorder.start_all(stop_time=20.0)
+        engine.run(until=30.0)
+        rows = recorder.summary_rows()
+        assert rows[0][0] == "a"
+        assert rows[0][2] == 3.0
+
+
+class TestDeploymentTelemetry:
+    def test_disabled_by_default(self):
+        deployment = DBODeployment(default_network_specs(2, seed=5), seed=1)
+        deployment.run(duration=1000.0)
+        assert deployment.telemetry is None
+
+    def test_probes_capture_spike_queue_buildup(self):
+        spike = StepLatency([(0.0, 0.0), (3000.0, 300.0), (4000.0, 0.0)])
+        specs = [
+            NetworkSpec(
+                forward=CompositeLatency([ConstantLatency(10.0), spike]),
+                reverse=ConstantLatency(10.0),
+            ),
+            NetworkSpec(forward=ConstantLatency(12.0), reverse=ConstantLatency(12.0)),
+        ]
+        deployment = DBODeployment(specs, seed=1, telemetry_interval=50.0)
+        deployment.run(duration=10_000.0)
+        rb_probe = deployment.telemetry.probes["rb_queue_mp0"]
+        # The spike queues several batches at mp0's RB...
+        assert rb_probe.maximum() >= 3
+        # ...and the buildup is transient (drained well before the end).
+        tail = [v for t, v in rb_probe.samples if t > 8_000.0]
+        assert max(tail) == 0.0
+        # The OB queue also swells while waiting for the lagging RB.
+        assert deployment.telemetry.probes["ob_queue_depth"].maximum() >= 3

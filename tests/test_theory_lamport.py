@@ -1,0 +1,57 @@
+"""Tests for the Lamport-clock contrast (§4.1.1)."""
+
+import pytest
+
+from repro.theory.lamport import LamportClock, lamport_race_counterexample
+
+
+class TestLamportClock:
+    def test_tick_advances(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_receive_merges_max_plus_one(self):
+        clock = LamportClock()
+        clock.tick()  # 1
+        assert clock.receive(10) == 11
+        assert clock.receive(3) == 12  # max(11, 3) + 1
+
+    def test_send_is_a_tick(self):
+        clock = LamportClock()
+        assert clock.send() == 1
+
+    def test_happens_before_is_respected(self):
+        # Causally ordered events carry increasing timestamps.
+        a, b = LamportClock(), LamportClock()
+        ts1 = a.send()
+        b.receive(ts1)
+        ts2 = b.send()
+        assert ts2 > ts1
+
+
+class TestCounterexample:
+    def test_delivery_clocks_order_the_race_correctly(self):
+        outcome = lamport_race_counterexample()
+        assert outcome.delivery_orders_correctly
+
+    def test_lamport_orders_the_race_incorrectly(self):
+        outcome = lamport_race_counterexample()
+        assert not outcome.lamport_orders_correctly
+
+    def test_contrast_holds_across_parameters(self):
+        for busy in (1, 2, 10):
+            for fast, slow in [(1.0, 2.0), (5.0, 15.0), (0.5, 19.0)]:
+                outcome = lamport_race_counterexample(
+                    fast_response_time=fast,
+                    slow_response_time=slow,
+                    slow_mp_busy_events=busy,
+                )
+                assert outcome.delivery_orders_correctly
+                assert not outcome.lamport_orders_correctly
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lamport_race_counterexample(fast_response_time=5.0, slow_response_time=5.0)
+        with pytest.raises(ValueError):
+            lamport_race_counterexample(slow_mp_busy_events=0)

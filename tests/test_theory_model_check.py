@@ -1,0 +1,94 @@
+"""Exhaustive model-checking of the OB release rule on small instances."""
+
+import math
+
+import pytest
+
+from repro.theory.model_check import (
+    Message,
+    ModelCheckResult,
+    check_ordering_buffer,
+    enumerate_interleavings,
+)
+
+
+def trade(mp, point, elapsed, seq=0):
+    return Message(mp, "trade", point, elapsed, seq)
+
+
+def hb(mp, point, elapsed):
+    return Message(mp, "hb", point, elapsed)
+
+
+class TestEnumeration:
+    def test_counts_are_multinomial(self):
+        a = [trade("a", 0, 1.0, 0), hb("a", 0, 5.0)]
+        b = [hb("b", 0, 2.0), hb("b", 0, 6.0), hb("b", 0, 9.0)]
+        count = sum(1 for _ in enumerate_interleavings([a, b]))
+        assert count == math.comb(5, 2)  # 5! / (2! 3!)
+
+    def test_fifo_preserved_in_every_interleaving(self):
+        a = [trade("a", 0, 1.0, 0), trade("a", 0, 2.0, 1)]
+        b = [hb("b", 0, 3.0)]
+        for order in enumerate_interleavings([a, b]):
+            a_positions = [i for i, m in enumerate(order) if m.mp_id == "a"]
+            assert a_positions == sorted(a_positions)
+            seqs = [m.seq for m in order if m.mp_id == "a"]
+            assert seqs == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            check_ordering_buffer([[trade("a", 0, 5.0), trade("a", 0, 1.0, 1)]])
+        with pytest.raises(ValueError):
+            check_ordering_buffer([[trade("a", 0, 1.0), trade("b", 0, 2.0)]])
+        with pytest.raises(ValueError):
+            check_ordering_buffer([])
+
+
+class TestExhaustiveCorrectness:
+    def test_two_participants_trades_and_heartbeats(self):
+        """All (7 choose 3) = 35 interleavings of a 2-MP scenario."""
+        a = [trade("a", 0, 2.0, 0), trade("a", 0, 7.0, 1), hb("a", 1, 0.5)]
+        b = [hb("b", 0, 1.0), trade("b", 0, 5.0, 0), hb("b", 0, 9.0), hb("b", 1, 3.0)]
+        result = check_ordering_buffer([a, b])
+        assert result.interleavings == math.comb(7, 3)
+        assert result.ok, result
+
+    def test_three_participants(self):
+        """3-channel scenario: 9!/(3!3!3!) = 1680 interleavings."""
+        a = [trade("a", 0, 1.0, 0), hb("a", 0, 6.0), hb("a", 1, 2.0)]
+        b = [trade("b", 0, 3.0, 0), hb("b", 1, 0.1), hb("b", 1, 5.0)]
+        c = [hb("c", 0, 4.0), trade("c", 1, 1.5, 0), hb("c", 1, 8.0)]
+        result = check_ordering_buffer([a, b, c])
+        assert result.interleavings == 1680
+        assert result.ok, result
+
+    def test_equal_stamps_across_participants(self):
+        """Exact stamp ties: strictness must hold everything until a
+        strictly greater proof arrives — still safe in every order."""
+        a = [trade("a", 0, 5.0, 0), hb("a", 0, 5.0), hb("a", 1, 0.0)]
+        b = [trade("b", 0, 5.0, 0), hb("b", 0, 5.0), hb("b", 1, 0.0)]
+        result = check_ordering_buffer([a, b])
+        assert result.ok, result
+
+    def test_trades_only_no_heartbeats(self):
+        """Trades alone act as progress proofs; liveness needs the final
+        heartbeat round, which the checker provides."""
+        a = [trade("a", 0, 1.0, 0), trade("a", 0, 4.0, 1)]
+        b = [trade("b", 0, 2.0, 0), trade("b", 0, 3.0, 1)]
+        result = check_ordering_buffer([a, b])
+        assert result.interleavings == math.comb(4, 2)
+        assert result.ok, result
+
+    def test_point_id_jumps(self):
+        a = [trade("a", 0, 19.0, 0), trade("a", 3, 0.5, 1), hb("a", 7, 0.0)]
+        b = [hb("b", 2, 0.0), trade("b", 5, 1.0, 0), hb("b", 9, 0.0)]
+        result = check_ordering_buffer([a, b])
+        assert result.ok, result
+
+
+class TestResultObject:
+    def test_ok_flag(self):
+        good = ModelCheckResult(10, 0, 0, 0)
+        bad = ModelCheckResult(10, 1, 0, 0)
+        assert good.ok and not bad.ok
