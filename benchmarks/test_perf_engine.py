@@ -1,0 +1,97 @@
+"""Engine hot-path benchmark: optimized runtime vs the seed behaviour.
+
+Runs the same 64-participant DBO workload twice:
+
+* **optimized** — the default stack: :class:`HeapEventEngine` with
+  in-place :class:`PeriodicTimer` rescheduling for heartbeats/keepalives
+  plus the ordering buffer's incremental watermark-extremes cache;
+* **reference** — :class:`ReferenceHeapEngine` (push-per-tick periodic
+  events, emulating the seed engine) with the OB's O(N)-per-message
+  extremes scan (``ob_incremental_extremes=False``).
+
+Both runs produce byte-identical trade orderings (asserted) — the speedup
+is pure mechanics, no behaviour change.  Results land in
+``benchmarks/BENCH_engine.json``; the optimized engine must clear 1.3×
+the reference events/sec.
+"""
+
+import json
+import os
+import time
+
+from repro.baselines.base import default_network_specs
+from repro.experiments.registry import get_builder
+from repro.metrics.serialization import trade_ordering_digest
+from repro.sim.runtime import Runtime
+
+N_PARTICIPANTS = 64
+DURATION = 20_000.0
+SEED = 7
+MIN_SPEEDUP = 1.3
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+
+
+def _run_mode(engine_kind: str, incremental: bool):
+    specs = default_network_specs(N_PARTICIPANTS, seed=SEED)
+    runtime = Runtime.create(seed=SEED, engine=engine_kind)
+    deployment = get_builder("dbo").build(
+        specs, runtime=runtime, ob_incremental_extremes=incremental
+    )
+    wall_start = time.perf_counter()
+    result = deployment.run(duration=DURATION)
+    wall = time.perf_counter() - wall_start
+    engine = deployment.engine
+    return {
+        "engine": engine_kind,
+        "ob_incremental_extremes": incremental,
+        "events_processed": engine.events_processed,
+        "wall_seconds": wall,
+        "events_per_second": engine.events_processed / wall,
+        "peak_pending_events": engine.peak_pending_events,
+        "digest": trade_ordering_digest(result),
+        "trades": sum(1 for t in result.trades if t.position is not None),
+    }
+
+
+def test_perf_engine_speedup(report):
+    optimized = _run_mode("heap", incremental=True)
+    reference = _run_mode("reference", incremental=False)
+
+    # Identical trade ordering: the optimization must be behaviour-free.
+    assert optimized["digest"] == reference["digest"]
+    assert optimized["trades"] == reference["trades"] > 0
+
+    ratio = optimized["events_per_second"] / reference["events_per_second"]
+    doc = {
+        "workload": {
+            "scheme": "dbo",
+            "n_participants": N_PARTICIPANTS,
+            "duration_us": DURATION,
+            "seed": SEED,
+        },
+        "optimized": optimized,
+        "reference": reference,
+        "speedup": ratio,
+        "min_required_speedup": MIN_SPEEDUP,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+
+    lines = [
+        "engine hot-path benchmark (64-MP DBO, 20 ms market data)",
+        f"  optimized: {optimized['events_per_second']:,.0f} ev/s "
+        f"({optimized['events_processed']} events, "
+        f"peak heap {optimized['peak_pending_events']})",
+        f"  reference: {reference['events_per_second']:,.0f} ev/s "
+        f"({reference['events_processed']} events, "
+        f"peak heap {reference['peak_pending_events']})",
+        f"  speedup: {ratio:.2f}x (required ≥ {MIN_SPEEDUP}x)",
+        f"  trade ordering identical: {optimized['digest'][:16]}…",
+    ]
+    report("perf_engine", "\n".join(lines))
+
+    assert ratio >= MIN_SPEEDUP, (
+        f"optimized engine only {ratio:.2f}x faster than reference "
+        f"(needs ≥ {MIN_SPEEDUP}x)"
+    )

@@ -30,8 +30,8 @@ from repro.participants.mp import MarketParticipant
 from repro.participants.response_time import ResponseTimeModel, UniformResponseTime
 from repro.participants.strategies import SpeedRacer, Strategy
 from repro.sim.clocks import Clock, DriftingClock
-from repro.sim.engine import EventEngine
 from repro.sim.randomness import stable_u64, stable_uniform
+from repro.sim.runtime import Runtime
 
 __all__ = ["NetworkSpec", "BaseDeployment", "default_network_specs"]
 
@@ -123,9 +123,13 @@ class BaseDeployment:
         Whether the matching engine crosses orders on a real book.
     seed:
         Seeds clock offsets/drifts and scheme-internal randomness.
+        Ignored when ``runtime`` is given (the runtime's seed wins).
     rb_clock_drift:
         Magnitude of RB clock drift-rate draws (paper cites < 2e-4).
         RB clocks also get large random offsets — schemes must not care.
+    runtime:
+        Optional pre-built :class:`~repro.sim.runtime.Runtime` carrying
+        the engine, seed, and telemetry.  ``None`` creates a fresh one.
     """
 
     scheme_name = "base"
@@ -140,13 +144,15 @@ class BaseDeployment:
         publish_executions: bool = False,
         seed: int = 0,
         rb_clock_drift: float = 1e-4,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         if not specs:
             raise ValueError("deployment needs at least one participant")
         self.specs = list(specs)
-        self.seed = seed
+        self.runtime = runtime if runtime is not None else Runtime.create(seed=seed)
+        self.seed = self.runtime.seed
         self.rb_clock_drift = rb_clock_drift
-        self.engine = EventEngine()
+        self.engine = self.runtime.engine
         self.ces = CentralExchangeServer(
             self.engine,
             feed_config=feed_config,
@@ -243,8 +249,8 @@ class BaseDeployment:
         Deliberately *not* synchronized: correct schemes must only use
         intervals of these clocks.
         """
-        offset = stable_uniform(0.0, 1e9, self.seed, index, 100)
-        drift = stable_uniform(-self.rb_clock_drift, self.rb_clock_drift, self.seed, index, 101)
+        offset = self.runtime.uniform(0.0, 1e9, index, 100)
+        drift = self.runtime.uniform(-self.rb_clock_drift, self.rb_clock_drift, index, 101)
         return DriftingClock(offset=offset, drift_rate=drift)
 
     def _make_link(
@@ -263,7 +269,7 @@ class BaseDeployment:
                 model,
                 loss_probability=loss,
                 recovery_delay=spec.recovery_delay,
-                seed=stable_u64(self.seed, seed_salt),
+                seed=self.runtime.u64(seed_salt),
                 name=name,
             )
         return Link(self.engine, model, name=name)
@@ -280,7 +286,7 @@ class BaseDeployment:
         def delayed_submit(order: TradeOrder) -> None:
             now = self.engine.now
             at = now + model.latency_at(now)
-            self.engine.schedule_at(at, lambda order=order: rb_intercept(order), priority=1)
+            self.engine.schedule_at(at, rb_intercept, priority=1, args=(order,))
 
         self.participants[index].connect(delayed_submit)
 

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.baselines.base import BaseDeployment
 from repro.exchange.messages import MarketDataPoint, TradeOrder
 from repro.sim.clocks import SynchronizedClock
-from repro.sim.randomness import stable_u64
 
 __all__ = ["CloudExDeployment", "CloudExReleaseBuffer", "CloudExOrderingBuffer"]
 
@@ -56,12 +55,11 @@ class CloudExReleaseBuffer:
         if release > target_true:
             self.overruns += 1
         self._last_release = release
+        self.engine.schedule_at(release, self._deliver, priority=0, args=(point, release))
 
-        def deliver(point=point, release=release) -> None:
-            self.release_times[point.point_id] = release
-            self._mp_handler((point,), release)
-
-        self.engine.schedule_at(release, deliver, priority=0)
+    def _deliver(self, point: MarketDataPoint, release: float) -> None:
+        self.release_times[point.point_id] = release
+        self._mp_handler((point,), release)
 
 
 class CloudExOrderingBuffer:
@@ -139,7 +137,7 @@ class CloudExDeployment(BaseDeployment):
 
     def _make_sync_clock(self, salt: int) -> SynchronizedClock:
         return SynchronizedClock(
-            error_bound=self.sync_error, seed=stable_u64(self.seed, salt)
+            error_bound=self.sync_error, seed=self.runtime.u64(salt)
         )
 
     def _build(self) -> None:

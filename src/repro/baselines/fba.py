@@ -20,7 +20,6 @@ from typing import Dict, List, Tuple
 from repro.baselines.base import BaseDeployment
 from repro.exchange.messages import MarketDataPoint, TradeOrder
 from repro.net.multicast import MulticastGroup
-from repro.sim.randomness import SubstreamCounter
 
 __all__ = ["FBADeployment"]
 
@@ -48,7 +47,7 @@ class FBADeployment(BaseDeployment):
         self._pending_trades: List[TradeOrder] = []
         self._arrivals: Dict[str, Dict[int, float]] = {}
         self._deliveries: Dict[str, Dict[int, float]] = {}
-        self._shuffler = SubstreamCounter(self.seed, stream_id=77)
+        self._shuffler = self.runtime.substream(77)
         self.auctions_held = 0
 
     def _build(self) -> None:
@@ -91,7 +90,9 @@ class FBADeployment(BaseDeployment):
         self.ces.set_distributor(lambda point: self._pending_points.append(point))
 
     def _start(self, duration: float) -> None:
-        self.engine.schedule_at(self.batch_interval, self._auction)
+        self.engine.schedule_periodic(
+            self.batch_interval, self.batch_interval, self._auction
+        )
 
     def _auction(self) -> None:
         now = self.engine.now
@@ -111,7 +112,6 @@ class FBADeployment(BaseDeployment):
             )
             for position in order:
                 self.ces.matching_engine.submit(trades[position], forward_time=now)
-        self.engine.schedule_after(self.batch_interval, self._auction)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

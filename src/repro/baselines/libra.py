@@ -19,7 +19,6 @@ from typing import Dict, List
 from repro.baselines.base import BaseDeployment
 from repro.exchange.messages import MarketDataPoint, TradeOrder
 from repro.net.multicast import MulticastGroup
-from repro.sim.randomness import SubstreamCounter
 
 __all__ = ["LibraDeployment"]
 
@@ -43,7 +42,7 @@ class LibraDeployment(BaseDeployment):
         self.window = window
         self._window_trades: List[TradeOrder] = []
         self._arrivals: Dict[str, Dict[int, float]] = {}
-        self._shuffler = SubstreamCounter(self.seed, stream_id=78)
+        self._shuffler = self.runtime.substream(78)
         self.windows_closed = 0
 
     def _build(self) -> None:
@@ -87,7 +86,7 @@ class LibraDeployment(BaseDeployment):
         self.multicast.publish(point, send_time=now)
 
     def _start(self, duration: float) -> None:
-        self.engine.schedule_at(self.window, self._close_window)
+        self.engine.schedule_periodic(self.window, self.window, self._close_window)
 
     def _close_window(self) -> None:
         now = self.engine.now
@@ -98,7 +97,6 @@ class LibraDeployment(BaseDeployment):
             order = sorted(range(len(trades)), key=lambda _: self._shuffler.next_unit())
             for position in order:
                 self.ces.matching_engine.submit(trades[position], forward_time=now)
-        self.engine.schedule_after(self.window, self._close_window)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

@@ -20,12 +20,15 @@ Regenerate a paper table or figure::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.params import DBOParams
 from repro.exchange.feed import FeedConfig
 from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
+from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
+from repro.sim.engine import ENGINE_FACTORIES
 from repro.experiments.scenarios import (
     baremetal_specs,
     cloud_specs,
@@ -73,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_p)
     run_p.add_argument("--scheme", choices=sorted(SCHEMES), default="dbo")
     run_p.add_argument("--save", metavar="PATH", help="save the RunResult as JSON")
+    run_p.add_argument(
+        "--json", action="store_true", help="emit the digest as JSON on stdout"
+    )
     _add_scheme_knobs(run_p)
 
     cmp_p = sub.add_parser("compare", help="run several schemes on one network")
@@ -82,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=sorted(SCHEMES),
         default=["direct", "dbo"],
+    )
+    cmp_p.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON on stdout"
     )
     _add_scheme_knobs(cmp_p)
 
@@ -118,6 +127,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--participants", type=int, default=10)
     p.add_argument("--duration", type=float, default=50_000.0, help="µs of market data")
     p.add_argument("--seed", type=int, default=12)
+    p.add_argument(
+        "--engine",
+        choices=sorted(ENGINE_FACTORIES),
+        default="heap",
+        help="event-engine implementation backing the simulation",
+    )
     p.add_argument("--interval", type=float, default=40.0, help="data interval (µs)")
     p.add_argument("--rt-low", type=float, default=5.0)
     p.add_argument("--rt-high", type=float, default=20.0)
@@ -193,13 +208,34 @@ def _run_one(scheme: str, args):
         feed_config=FeedConfig(interval=args.interval),
         response_time_model=_build_rt_model(args),
         seed=args.seed,
+        engine=args.engine,
         **_scheme_kwargs(scheme, args),
     )
+
+
+def _run_context(args) -> dict:
+    return {
+        "scenario": args.scenario,
+        "participants": args.participants,
+        "duration": args.duration,
+        "seed": args.seed,
+        "engine": args.engine,
+    }
 
 
 def cmd_run(args) -> int:
     result = _run_one(args.scheme, args)
     summary = summarize(result, with_bound=(args.scheme == "dbo"))
+    if args.save:
+        save_run_result(result, args.save)
+    if args.json:
+        doc = dict(_run_context(args))
+        doc["summary"] = summary_to_dict(summary)
+        doc["trade_ordering_digest"] = trade_ordering_digest(result)
+        if args.save:
+            doc["saved_to"] = args.save
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(comparison_table([summary], title=f"{args.scheme} on {args.scenario} "
                                             f"({args.participants} MPs, {args.duration:.0f} µs)"))
     print()
@@ -209,16 +245,23 @@ def cmd_run(args) -> int:
         interesting = {k: v for k, v in sorted(summary.counters.items())}
         print(f"counters: {interesting}")
     if args.save:
-        save_run_result(result, args.save)
         print(f"saved run result to {args.save}")
     return 0
 
 
 def cmd_compare(args) -> int:
     summaries = []
+    digests: Dict[str, str] = {}
     for scheme in args.schemes:
         result = _run_one(scheme, args)
         summaries.append(summarize(result, with_bound=(scheme == "dbo")))
+        digests[scheme] = trade_ordering_digest(result)
+    if args.json:
+        doc = dict(_run_context(args))
+        doc["summaries"] = [summary_to_dict(s) for s in summaries]
+        doc["trade_ordering_digests"] = digests
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(
         comparison_table(
             summaries,
@@ -252,6 +295,7 @@ def cmd_sweep(args) -> int:
         feed_config=FeedConfig(interval=args.interval),
         response_time_model=_build_rt_model(args),
         seed=args.seed,
+        engine=args.engine,
     )
     # Show the swept value, not the whole params repr.
     for row, value in zip(rows, args.values):

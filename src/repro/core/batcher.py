@@ -32,7 +32,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.exchange.messages import MarketDataBatch, MarketDataPoint
-from repro.sim.engine import EventEngine
+from repro.sim.engine import EventEngine, PeriodicTimer
+from repro.sim.runtime import as_runtime
 
 __all__ = ["Batcher"]
 
@@ -66,12 +67,14 @@ class Batcher:
             raise ValueError("batch_span must be positive")
         if feed_interval is not None and feed_interval <= 0:
             raise ValueError("feed_interval must be positive when given")
-        self.engine = engine
+        self.runtime = as_runtime(engine)
+        self.engine = self.runtime.engine
         self.batch_span = float(batch_span)
         self.sink = sink
         self.feed_interval = feed_interval
         self._pending: List[MarketDataPoint] = []
         self._window_end: Optional[float] = None
+        self._window_timer_handle: Optional[PeriodicTimer] = None
         self._next_batch_id = 0
         self._started = False
         # Rate gate state: the two most recent close times (burst-2
@@ -100,7 +103,9 @@ class Batcher:
         # point generated exactly at the boundary is offered to the (new)
         # window — otherwise the determination check sees a stale window
         # end and closes batches early, violating the 1/span batch rate.
-        self.engine.schedule_at(self._window_end, self._window_timer, priority=0)
+        self._window_timer_handle = self.engine.schedule_periodic(
+            self._window_end, self.batch_span, self._window_timer, priority=0
+        )
 
     def on_point(self, point: MarketDataPoint) -> None:
         """Accept a freshly generated data point into the open window."""
@@ -123,8 +128,9 @@ class Batcher:
     def _window_timer(self) -> None:
         if self._pending:
             self._maybe_emit()
-        self._window_end += self.batch_span
-        self.engine.schedule_at(self._window_end, self._window_timer, priority=0)
+        # The timer has already advanced past this tick: its next fire
+        # time IS the new window end (keeps grid and timer bit-identical).
+        self._window_end = self._window_timer_handle.next_fire_time
 
     def _maybe_emit(self) -> None:
         """Emit now if the batch-rate cap allows, else at the allowed time.

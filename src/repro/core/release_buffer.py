@@ -30,7 +30,8 @@ from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
 from repro.exchange.messages import Heartbeat, MarketDataBatch, MarketDataPoint, TaggedTrade, TradeOrder
 from repro.net.latency import LatencyModel
 from repro.sim.clocks import Clock, PerfectClock
-from repro.sim.engine import EventEngine
+from repro.sim.engine import EventEngine, PeriodicTimer
+from repro.sim.runtime import Runtime, as_runtime
 
 __all__ = ["ReleaseBuffer"]
 
@@ -48,7 +49,7 @@ class ReleaseBuffer:
     Parameters
     ----------
     engine:
-        Event engine.
+        Event engine or :class:`~repro.sim.runtime.Runtime`.
     mp_id:
         The participant this RB serves.
     pacing_gap:
@@ -84,7 +85,8 @@ class ReleaseBuffer:
             raise ValueError("pacing_gap (delta) must be positive")
         if heartbeat_period <= 0:
             raise ValueError("heartbeat_period (tau) must be positive")
-        self.engine = engine
+        self.runtime: Runtime = as_runtime(engine)
+        self.engine = self.runtime.engine
         self.mp_id = mp_id
         self.pacing_gap = float(pacing_gap)
         self.heartbeat_period = float(heartbeat_period)
@@ -100,6 +102,7 @@ class ReleaseBuffer:
         self._delivery_scheduled = False
         self._last_delivery_true: Optional[float] = None
         self._heartbeats_started = False
+        self._heartbeat_timer: Optional[PeriodicTimer] = None
         self.crashed = False
 
         # ----- measurement records (ground truth for metrics) ----------
@@ -143,6 +146,8 @@ class ReleaseBuffer:
         trades bear the unfairness — exactly the paper's stated behaviour.
         """
         self.crashed = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
 
     def on_batch(self, batch: MarketDataBatch, send_time: float, arrival_time: float) -> None:
         """Network handler for an arriving market-data batch."""
@@ -202,11 +207,10 @@ class ReleaseBuffer:
             self._mp_handler(points, rb_time)
             return
         mp_time = rb_time + self.rb_to_mp.latency_at(rb_time)
+        self.engine.schedule_at(mp_time, self._invoke_mp_handler, priority=0, args=(points, mp_time))
 
-        def deliver(points=points, mp_time=mp_time) -> None:
-            self._mp_handler(points, mp_time)
-
-        self.engine.schedule_at(mp_time, deliver, priority=0)
+    def _invoke_mp_handler(self, points: Tuple[MarketDataPoint, ...], mp_time: float) -> None:
+        self._mp_handler(points, mp_time)
 
     # ------------------------------------------------------------------
     # Reverse path: trades in from the MP, tagged trades out to the OB
@@ -247,10 +251,16 @@ class ReleaseBuffer:
             raise RuntimeError("heartbeats already started")
         self._heartbeats_started = True
         first = self.engine.now if start_time is None else start_time
-        self.engine.schedule_at(first, self._heartbeat, priority=3)
+        self._heartbeat_timer = self.engine.schedule_periodic(
+            first, self.heartbeat_period, self._heartbeat, priority=3
+        )
 
     def _heartbeat(self) -> None:
         if self.crashed:
+            # Crash stops the stream (crash() cancels the timer; this
+            # guards the tick already in flight).
+            if self._heartbeat_timer is not None:
+                self._heartbeat_timer.cancel()
             return
         now = self.engine.now
         if (
@@ -267,4 +277,3 @@ class ReleaseBuffer:
             self._heartbeat_sink(
                 Heartbeat(mp_id=self.mp_id, clock=stamp, generated_at=now)
             )
-        self.engine.schedule_after(self.heartbeat_period, self._heartbeat, priority=3)

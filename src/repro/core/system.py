@@ -29,7 +29,7 @@ from repro.net.link import Link
 from repro.net.multicast import MulticastGroup
 from repro.participants.response_time import ResponseTimeModel
 from repro.participants.strategies import Strategy
-from repro.sim.randomness import stable_uniform
+from repro.sim.runtime import Runtime
 
 __all__ = ["DBODeployment"]
 
@@ -90,6 +90,8 @@ class DBODeployment(BaseDeployment):
         piggyback_suppression: bool = False,
         ob_service_time: float = 0.0,
         risk_limits=None,
+        ob_incremental_extremes: bool = True,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         super().__init__(
             specs,
@@ -100,6 +102,7 @@ class DBODeployment(BaseDeployment):
             publish_executions=publish_executions,
             seed=seed,
             rb_clock_drift=rb_clock_drift,
+            runtime=runtime,
         )
         self.params = params if params is not None else DBOParams()
         self.n_ob_shards = n_ob_shards
@@ -117,6 +120,8 @@ class DBODeployment(BaseDeployment):
         # the (filtered) shard output.
         self.ob_service_time = ob_service_time
         self._ob_service_queues: Dict[str, object] = {}
+        # Ablation/benchmark switch for the OB's cached-extremes hot path.
+        self.ob_incremental_extremes = ob_incremental_extremes
         # Optional pre-trade risk gate between OB release and the ME.
         self.risk_limits = risk_limits
         self.risk_gate = None
@@ -160,6 +165,7 @@ class DBODeployment(BaseDeployment):
                 generation_time_of=self.ces.generation_time_of,
                 straggler_threshold=params.straggler_threshold,
                 latest_point_id=lambda: self.ces.points_generated - 1,
+                incremental_extremes=self.ob_incremental_extremes,
             )
         else:
             self.master_ob, self.shards, self._shard_routing = build_sharded_ob(
@@ -198,7 +204,6 @@ class DBODeployment(BaseDeployment):
             pacing_gap = 1e-9 if self.disable_pacing else params.delta
             if self.sync_target_c1 is not None:
                 from repro.sim.clocks import SynchronizedClock
-                from repro.sim.randomness import stable_u64
 
                 rb = SyncAssistedReleaseBuffer(
                     self.engine,
@@ -207,7 +212,7 @@ class DBODeployment(BaseDeployment):
                     heartbeat_period=params.tau,
                     sync_clock=SynchronizedClock(
                         error_bound=self.sync_error,
-                        seed=stable_u64(self.seed, 500 + index),
+                        seed=self.runtime.u64(500 + index),
                     ),
                     target_delay=self.sync_target_c1,
                     local_clock=self._make_rb_clock(index),
@@ -303,9 +308,7 @@ class DBODeployment(BaseDeployment):
     def _start(self, duration: float) -> None:
         self.batcher.start(0.0)
         if self.telemetry_interval is not None:
-            from repro.sim.telemetry import TelemetryRecorder
-
-            self.telemetry = TelemetryRecorder(self.engine, self.telemetry_interval)
+            self.telemetry = self.runtime.attach_telemetry(self.telemetry_interval)
             if self.ordering_buffer is not None:
                 ob = self.ordering_buffer
                 self.telemetry.add("ob_queue_depth", lambda: ob.queue_depth)
@@ -316,7 +319,7 @@ class DBODeployment(BaseDeployment):
             self.telemetry.start_all(start_time=0.0)
         for index, rb in enumerate(self.release_buffers):
             # Stagger heartbeat phases so τ-periodic sends don't synchronize.
-            offset = stable_uniform(0.0, self.params.tau, self.seed, index, 200)
+            offset = self.runtime.uniform(0.0, self.params.tau, index, 200)
             rb.start_heartbeats(start_time=offset)
 
     # ------------------------------------------------------------------

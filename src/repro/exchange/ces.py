@@ -22,6 +22,7 @@ from repro.exchange.feed import FeedConfig, MarketDataFeed
 from repro.exchange.matching import MatchingEngine
 from repro.exchange.messages import MarketDataPoint
 from repro.sim.engine import EventEngine
+from repro.sim.runtime import as_runtime
 
 __all__ = ["CentralExchangeServer"]
 
@@ -53,7 +54,8 @@ class CentralExchangeServer:
         execute_trades: bool = False,
         publish_executions: bool = False,
     ) -> None:
-        self.engine = engine
+        self.runtime = as_runtime(engine)
+        self.engine = self.runtime.engine
         self.feed = MarketDataFeed(feed_config)
         self.matching_engine = MatchingEngine(
             execute=execute_trades,
@@ -72,6 +74,7 @@ class CentralExchangeServer:
         # keepalive points so a loss-lagged participant's delivery clock
         # recovers quickly.  None disables (the paper's dense-feed case).
         self.keepalive_interval: Optional[float] = None
+        self._keepalive_timer = None
 
     def _on_execution(self, execution) -> None:
         """Publish an execution report into the market-data stream.
@@ -120,8 +123,11 @@ class CentralExchangeServer:
         if self.keepalive_interval is not None:
             if self.keepalive_interval <= 0:
                 raise ValueError("keepalive_interval must be positive")
-            self.engine.schedule_at(
-                start_time + self.keepalive_interval, self._keepalive, priority=3
+            self._keepalive_timer = self.engine.schedule_periodic(
+                start_time + self.keepalive_interval,
+                self.keepalive_interval,
+                self._keepalive,
+                priority=3,
             )
 
     def _tick(self) -> None:
@@ -136,6 +142,7 @@ class CentralExchangeServer:
     def _keepalive(self) -> None:
         now = self.engine.now
         if self._stop_time is not None and now >= self._stop_time:
+            self._keepalive_timer.cancel()
             return
         quiet_for = (
             now - self._last_emit_time if self._last_emit_time is not None else now
@@ -144,7 +151,6 @@ class CentralExchangeServer:
             self.keepalives_published += 1
             self._last_emit_time = now
             self.inject_external(payload="keepalive", opportunity=False)
-        self.engine.schedule_after(self.keepalive_interval, self._keepalive, priority=3)
 
     # ------------------------------------------------------------------
     def inject_external(self, payload: Any, opportunity: bool = True) -> MarketDataPoint:

@@ -16,11 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.base import BaseDeployment, NetworkSpec
-from repro.baselines.cloudex import CloudExDeployment
-from repro.baselines.direct import DirectDeployment
-from repro.baselines.fba import FBADeployment
-from repro.baselines.libra import LibraDeployment
-from repro.core.system import DBODeployment
+from repro.experiments.registry import REGISTRY
 from repro.metrics.fairness import FairnessReport, evaluate_fairness
 from repro.metrics.latency import LatencyStats, latency_stats, max_rtt_stats
 from repro.metrics.records import RunResult
@@ -35,22 +31,20 @@ __all__ = [
     "comparison_table",
 ]
 
-SCHEMES: Dict[str, Callable[..., BaseDeployment]] = {
-    "dbo": DBODeployment,
-    "direct": DirectDeployment,
-    "cloudex": CloudExDeployment,
-    "fba": FBADeployment,
-    "libra": LibraDeployment,
-}
+# Legacy name → deployment-class view of the registry.  New code should
+# resolve names via repro.experiments.registry; this mapping stays for
+# call sites that only need the name list or a class reference.
+SCHEMES: Dict[str, Callable[..., BaseDeployment]] = REGISTRY.factories()
 
 
 def build_deployment(scheme: str, specs: Sequence[NetworkSpec], **kwargs) -> BaseDeployment:
-    """Construct (but do not run) a deployment by scheme name."""
-    try:
-        factory = SCHEMES[scheme]
-    except KeyError:
-        raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}") from None
-    return factory(specs, **kwargs)
+    """Construct (but do not run) a deployment by scheme name.
+
+    Resolution and Runtime threading go through the scheme registry:
+    ``seed``/``engine``/``runtime`` kwargs configure the simulation
+    context, everything else reaches the deployment constructor.
+    """
+    return REGISTRY.get(scheme).build(specs, **kwargs)
 
 
 def run_scheme(

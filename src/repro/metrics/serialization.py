@@ -9,13 +9,22 @@ loaded result can still report every paper metric.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
 from repro.metrics.latency import max_rtt_bound_per_trade
 from repro.metrics.records import RunResult, TradeRecord
 
-__all__ = ["run_result_to_dict", "run_result_from_dict", "save_run_result", "load_run_result"]
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "save_run_result",
+    "load_run_result",
+    "trade_ordering_digest",
+    "summary_to_dict",
+]
 
 _FORMAT_VERSION = 1
 
@@ -98,6 +107,44 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         duration=data["duration"],
         counters=dict(data["counters"]),
     )
+
+
+def trade_ordering_digest(result: RunResult) -> str:
+    """SHA-256 digest of the run's matching-engine trade ordering.
+
+    Covers every trade that reached the matching engine (``position`` not
+    ``None``), in position order — the determinism invariant the engine
+    refactors must preserve: identical seeds ⇒ identical digest.  Robust
+    to sub-µs timestamp jitter because only the *ordering* is hashed.
+    """
+    ordered = sorted(
+        (t for t in result.trades if t.position is not None),
+        key=lambda t: t.position,
+    )
+    payload = "".join(f"{t.mp_id}:{t.trade_seq}:{t.position};" for t in ordered)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def summary_to_dict(summary: Any) -> Dict[str, Any]:
+    """JSON-safe dict of a :class:`~repro.experiments.runner.SchemeSummary`.
+
+    Accepted duck-typed (any object with scheme/fairness/latency/max_rtt/
+    completion/counters) so this metrics-layer module does not import the
+    experiments layer.
+    """
+    fairness = dataclasses.asdict(summary.fairness)
+    fairness["ratio"] = summary.fairness.ratio
+    fairness["percent"] = summary.fairness.percent
+    return {
+        "scheme": summary.scheme,
+        "fairness": fairness,
+        "latency": dataclasses.asdict(summary.latency),
+        "max_rtt": (
+            dataclasses.asdict(summary.max_rtt) if summary.max_rtt is not None else None
+        ),
+        "completion": summary.completion,
+        "counters": dict(summary.counters),
+    }
 
 
 def save_run_result(result: RunResult, path: str) -> None:

@@ -22,6 +22,7 @@ from typing import Any, Callable, List, Optional
 from repro.net.latency import LatencyModel
 from repro.sim.engine import EventEngine
 from repro.sim.randomness import stable_bool
+from repro.sim.runtime import as_runtime
 
 __all__ = ["Link", "LossyLink", "DeliveryRecord"]
 
@@ -69,7 +70,8 @@ class Link:
         name: str = "link",
         record: bool = False,
     ) -> None:
-        self.engine = engine
+        self.runtime = as_runtime(engine)
+        self.engine = self.runtime.engine
         self.latency_model = latency_model
         self.handler = handler
         self.name = name
@@ -129,12 +131,14 @@ class Link:
                 )
             )
 
-        def deliver(message=message, t_send=t_send, arrival=arrival) -> None:
-            self._delivered += 1
-            self.handler(message, t_send, arrival)
-
-        self.engine.schedule_at(arrival, deliver, priority=0)
+        self.engine.schedule_at(
+            arrival, self._deliver, priority=0, args=(message, t_send, arrival)
+        )
         return arrival
+
+    def _deliver(self, message: Any, t_send: float, arrival: float) -> None:
+        self._delivered += 1
+        self.handler(message, t_send, arrival)
 
 
 class LossyLink(Link):
@@ -206,9 +210,19 @@ class LossyLink(Link):
                     )
                 )
 
-            def deliver_recovered(message=message, t_send=t_send, recovered=recovered) -> None:
-                target(message, t_send, recovered)
-
-            self.engine.schedule_at(recovered, deliver_recovered, priority=0)
+            # The recovery target is resolved at send time (historical
+            # semantics); it rides along as a scheduled-call argument.
+            self.engine.schedule_at(
+                recovered,
+                self._deliver_recovered,
+                priority=0,
+                args=(target, message, t_send, recovered),
+            )
             return recovered
         return super().send(message, send_time=send_time)
+
+    @staticmethod
+    def _deliver_recovered(
+        target: DeliveryHandler, message: Any, t_send: float, recovered: float
+    ) -> None:
+        target(message, t_send, recovered)

@@ -1,4 +1,4 @@
-"""Simulation substrate: event engine, clocks, deterministic randomness."""
+"""Simulation substrate: event engines, runtime, clocks, randomness."""
 
 from repro.sim.clocks import (
     Clock,
@@ -7,7 +7,20 @@ from repro.sim.clocks import (
     SynchronizedClock,
     make_clock,
 )
-from repro.sim.engine import EventEngine, ScheduledEvent, SimulationError
+from repro.sim.engine import (
+    BucketWheelEngine,
+    ENGINE_FACTORIES,
+    EventEngine,
+    HeapEventEngine,
+    PeriodicTimer,
+    ReferenceHeapEngine,
+    ScheduledEvent,
+    Scheduler,
+    SimClock,
+    SimulationError,
+    make_engine,
+)
+from repro.sim.runtime import Runtime, as_runtime
 from repro.sim.service import ServiceQueue
 from repro.sim.telemetry import Probe, TelemetryRecorder
 from repro.sim.randomness import (
@@ -27,9 +40,19 @@ __all__ = [
     "PerfectClock",
     "SynchronizedClock",
     "make_clock",
+    "BucketWheelEngine",
+    "ENGINE_FACTORIES",
     "EventEngine",
+    "HeapEventEngine",
+    "PeriodicTimer",
+    "ReferenceHeapEngine",
     "ScheduledEvent",
+    "Scheduler",
+    "SimClock",
     "SimulationError",
+    "make_engine",
+    "Runtime",
+    "as_runtime",
     "ServiceQueue",
     "Probe",
     "TelemetryRecorder",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import EventEngine
+from repro.sim.runtime import as_runtime
 
 __all__ = ["ServiceQueue"]
 
@@ -45,7 +46,8 @@ class ServiceQueue:
     ) -> None:
         if service_time < 0:
             raise ValueError("service_time must be non-negative")
-        self.engine = engine
+        self.runtime = as_runtime(engine)
+        self.engine = self.runtime.engine
         self.service_time = float(service_time)
         self.handler = handler
         self.name = name
@@ -78,11 +80,13 @@ class ServiceQueue:
             self.handler(item, now)
             return now
 
-        def complete(item=item, completion=completion) -> None:
-            self.handler(item, completion)
-
-        self.engine.schedule_at(completion, complete, priority=4)
+        self.engine.schedule_at(
+            completion, self._complete, priority=4, args=(item, completion)
+        )
         return completion
+
+    def _complete(self, item: Any, completion: float) -> None:
+        self.handler(item, completion)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` spent serving (capped at 1)."""

@@ -12,10 +12,9 @@ Probes are observation-only: sampling must not mutate the system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim.engine import EventEngine
+from repro.sim.engine import EventEngine, PeriodicTimer
 
 __all__ = ["Probe", "TelemetryRecorder"]
 
@@ -51,20 +50,24 @@ class Probe:
         self.samples: List[Tuple[float, float]] = []
         self._started = False
         self._stop_time: Optional[float] = None
+        self._timer: Optional[PeriodicTimer] = None
 
     def start(self, start_time: float = 0.0, stop_time: Optional[float] = None) -> None:
         if self._started:
             raise RuntimeError("probe already started")
         self._started = True
         self._stop_time = stop_time
-        self.engine.schedule_at(start_time, self._sample, priority=9)
+        self._timer = self.engine.schedule_periodic(
+            start_time, self.interval, self._sample, priority=9
+        )
 
     def _sample(self) -> None:
         now = self.engine.now
         if self._stop_time is not None and now > self._stop_time:
+            if self._timer is not None:
+                self._timer.cancel()
             return
         self.samples.append((now, float(self.sampler())))
-        self.engine.schedule_after(self.interval, self._sample, priority=9)
 
     # ------------------------------------------------------------------
     def values(self) -> List[float]:

@@ -161,3 +161,60 @@ class TestScenarioCoverage:
              "--participants", "2", "--duration", "2000"]
         )
         assert code == 0
+
+
+class TestJsonOutput:
+    def test_run_json_document(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "2",
+             "--duration", "2000", "--seed", "4", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 4
+        assert doc["engine"] == "heap"
+        assert doc["summary"]["scheme"] == "dbo"
+        assert 0.0 <= doc["summary"]["fairness"]["ratio"] <= 1.0
+        assert doc["summary"]["latency"]["count"] > 0
+        assert len(doc["trade_ordering_digest"]) == 64
+
+    def test_run_json_with_save(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        code = main(
+            ["run", "--scheme", "direct", "--participants", "2",
+             "--duration", "2000", "--json", "--save", path]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["saved_to"] == path
+        with open(path) as handle:
+            assert json.load(handle)["scheme"] == "direct"
+
+    def test_compare_json_document(self, capsys):
+        code = main(
+            ["compare", "--schemes", "direct", "dbo", "--participants", "2",
+             "--duration", "2000", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [s["scheme"] for s in doc["summaries"]] == ["direct", "dbo"]
+        assert set(doc["trade_ordering_digests"]) == {"direct", "dbo"}
+
+    def test_json_is_deterministic_across_runs(self, capsys):
+        argv = ["run", "--scheme", "dbo", "--participants", "2",
+                "--duration", "2000", "--seed", "4", "--json"]
+        main(argv)
+        first = json.loads(capsys.readouterr().out)
+        main(argv)
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_run_wheel_engine_flag(self, capsys):
+        code = main(
+            ["run", "--scheme", "dbo", "--participants", "2",
+             "--duration", "2000", "--seed", "4", "--engine", "wheel", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["engine"] == "wheel"
+        assert doc["summary"]["latency"]["count"] > 0

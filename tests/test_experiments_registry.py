@@ -1,0 +1,94 @@
+"""The scheme registry: resolution, errors, and Runtime threading."""
+
+import pytest
+
+from repro.baselines.base import BaseDeployment, default_network_specs
+from repro.experiments.registry import (
+    REGISTRY,
+    SchemeBuilder,
+    SchemeRegistry,
+    UnknownSchemeError,
+    available_schemes,
+    get_builder,
+)
+from repro.experiments.runner import SCHEMES, build_deployment
+from repro.sim.engine import BucketWheelEngine, HeapEventEngine
+from repro.sim.runtime import Runtime
+
+ALL_SCHEMES = {"dbo", "direct", "cloudex", "fba", "libra"}
+
+
+class TestRegistryContents:
+    def test_five_builtin_schemes_registered(self):
+        assert set(available_schemes()) == ALL_SCHEMES
+        for name in ALL_SCHEMES:
+            builder = get_builder(name)
+            assert isinstance(builder, SchemeBuilder)
+            assert builder.name == name
+            assert builder.factory.scheme_name == name
+
+    def test_legacy_schemes_view_matches_registry(self):
+        assert set(SCHEMES) == ALL_SCHEMES
+        for name, factory in SCHEMES.items():
+            assert REGISTRY.get(name).factory is factory
+
+    def test_unknown_scheme_raises_typed_error(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            get_builder("quantum")
+        assert excinfo.value.name == "quantum"
+        assert excinfo.value.known == tuple(sorted(ALL_SCHEMES))
+        assert "quantum" in str(excinfo.value)
+
+    def test_unknown_scheme_is_a_value_error(self):
+        # Historical except-ValueError call sites must keep working.
+        with pytest.raises(ValueError):
+            build_deployment("quantum", default_network_specs(2))
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemeRegistry()
+        registry.register("x", BaseDeployment)
+        with pytest.raises(ValueError):
+            registry.register("x", BaseDeployment)
+        registry.register("x", BaseDeployment, replace=True)  # explicit ok
+
+    def test_container_protocol(self):
+        assert "dbo" in REGISTRY
+        assert "quantum" not in REGISTRY
+        assert list(REGISTRY) == sorted(ALL_SCHEMES)
+        assert len(REGISTRY) == 5
+
+
+class TestBuilderConstruction:
+    @pytest.mark.parametrize("name", sorted(ALL_SCHEMES))
+    def test_every_scheme_constructs_through_builder(self, name):
+        specs = default_network_specs(2, seed=3)
+        deployment = get_builder(name).build(specs, seed=3)
+        assert isinstance(deployment, BaseDeployment)
+        assert deployment.scheme_name == name
+        assert deployment.seed == 3
+        assert isinstance(deployment.runtime, Runtime)
+        assert deployment.engine is deployment.runtime.engine
+
+    def test_engine_kind_reaches_the_deployment(self):
+        specs = default_network_specs(2, seed=3)
+        deployment = get_builder("direct").build(specs, engine="wheel")
+        assert isinstance(deployment.engine, BucketWheelEngine)
+
+    def test_explicit_runtime_wins_over_seed(self):
+        specs = default_network_specs(2, seed=3)
+        runtime = Runtime(seed=11)
+        deployment = get_builder("direct").build(specs, runtime=runtime, seed=99)
+        assert deployment.runtime is runtime
+        assert deployment.seed == 11
+
+    def test_build_deployment_routes_through_registry(self):
+        specs = default_network_specs(2, seed=3)
+        deployment = build_deployment("dbo", specs, seed=5)
+        assert deployment.scheme_name == "dbo"
+        assert isinstance(deployment.engine, HeapEventEngine)
+
+    def test_builder_runs_end_to_end(self):
+        specs = default_network_specs(2, seed=3)
+        result = get_builder("direct").build(specs, seed=3).run(duration=1500.0)
+        assert result.scheme == "direct"
+        assert result.trades

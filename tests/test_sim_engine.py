@@ -187,3 +187,116 @@ def test_pending_events_counter():
     engine.schedule_at(1.0, lambda: None)
     engine.schedule_at(2.0, lambda: None)
     assert engine.pending_events == 2
+
+
+# ---------------------------------------------------------------------------
+# Live-event accounting, args-based scheduling, engine variants
+# ---------------------------------------------------------------------------
+
+
+def test_live_pending_events_excludes_tombstones():
+    engine = EventEngine()
+    keep = engine.schedule_at(1.0, lambda: None)
+    drop = engine.schedule_at(2.0, lambda: None)
+    engine.cancel(drop)
+    # The heap still holds the tombstone; the live count does not.
+    assert engine.pending_events == 2
+    assert engine.live_pending_events == 1
+    engine.cancel(keep)
+    assert engine.live_pending_events == 0
+
+
+def test_cancel_does_not_leak_memory():
+    # The seed engine kept every cancelled handle in a `_cancelled` set
+    # forever; tombstoning must leave no such growth behind.
+    engine = EventEngine()
+    for _ in range(3):
+        for _ in range(1000):
+            handle = engine.schedule_at(engine.now + 1.0, lambda: None)
+            engine.cancel(handle)
+        engine.run(until=engine.now + 2.0)
+        assert engine.pending_events == 0
+        assert engine.live_pending_events == 0
+    assert not hasattr(engine, "_cancelled")
+
+
+def test_cancel_after_execution_is_noop():
+    engine = EventEngine()
+    handle = engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    engine.cancel(handle)  # must not raise or corrupt the live count
+    assert engine.live_pending_events == 0
+
+
+def test_peak_pending_events_high_water_mark():
+    engine = EventEngine()
+    for i in range(10):
+        engine.schedule_at(float(i + 1), lambda: None)
+    assert engine.peak_pending_events == 10
+    engine.run()
+    # Draining does not lower the recorded peak.
+    assert engine.peak_pending_events == 10
+    assert engine.live_pending_events == 0
+
+
+def test_schedule_with_args_avoids_closures():
+    engine = EventEngine()
+    seen = []
+    engine.schedule_at(1.0, lambda a, b: seen.append((a, b)), args=("x", 3))
+    engine.schedule_after(2.0, seen.append, args=(("y", 4),))
+    engine.run()
+    assert seen == [("x", 3), ("y", 4)]
+
+
+def test_make_engine_factory():
+    from repro.sim.engine import (
+        ENGINE_FACTORIES,
+        BucketWheelEngine,
+        HeapEventEngine,
+        ReferenceHeapEngine,
+        make_engine,
+    )
+
+    assert set(ENGINE_FACTORIES) == {"heap", "wheel", "reference"}
+    assert isinstance(make_engine("heap"), HeapEventEngine)
+    assert isinstance(make_engine("wheel", bucket_width=16.0), BucketWheelEngine)
+    assert isinstance(make_engine("reference"), ReferenceHeapEngine)
+    assert make_engine("heap", start_time=9.0).now == 9.0
+    with pytest.raises(ValueError):
+        make_engine("quantum")
+
+
+def test_wheel_engine_matches_heap_ordering():
+    from repro.sim.engine import BucketWheelEngine
+
+    logs = {}
+    for cls in (EventEngine, BucketWheelEngine):
+        engine = cls()
+        log = []
+        # Mixed priorities, shared timestamps, cancellations, chains.
+        engine.schedule_at(5.0, lambda log=log: log.append("a5"))
+        engine.schedule_at(5.0, lambda log=log: log.append("b5-p0"), priority=0)
+        dead = engine.schedule_at(3.0, lambda log=log: log.append("dead"))
+        engine.cancel(dead)
+
+        def chain(engine=engine, log=log):
+            log.append("chain@" + str(engine.now))
+            engine.schedule_after(0.5, lambda: log.append("late@" + str(engine.now)))
+
+        engine.schedule_at(1.0, chain)
+        engine.run(until=10.0)
+        logs[cls] = (log, engine.now, engine.events_processed)
+    heap_log = logs[EventEngine]
+    wheel_log = logs[BucketWheelEngine]
+    assert heap_log[0] == wheel_log[0] == ["chain@1.0", "late@1.5", "b5-p0", "a5"]
+    assert heap_log[1] == wheel_log[1] == 10.0
+    assert heap_log[2] == wheel_log[2]
+
+
+def test_scheduler_protocols_runtime_checkable():
+    from repro.sim.engine import BucketWheelEngine, Scheduler, SimClock
+
+    for cls in (EventEngine, BucketWheelEngine):
+        engine = cls()
+        assert isinstance(engine, SimClock)
+        assert isinstance(engine, Scheduler)
