@@ -181,6 +181,9 @@ class BaseDeployment:
         self._external_configs: List[tuple] = []
         self.external_sources: List = []
         self.stream_merger = None
+        # Every link built via _make_link, for loss/partition accounting
+        # (and so the fault injector can find a participant's legs).
+        self._links: List[Link] = []
         self._built = False
 
     # ------------------------------------------------------------------
@@ -240,6 +243,26 @@ class BaseDeployment:
         """Scheme-specific odometers merged into the result."""
         return {}
 
+    def _link_counters(self) -> Dict[str, float]:
+        """Network loss odometers, shared by every scheme.
+
+        ``packets_lost`` is reported whenever any leg is lossy (even when
+        zero packets happened to drop); the fault-injection counters only
+        appear when a fault actually consumed packets.
+        """
+        counters: Dict[str, float] = {}
+        if any(isinstance(link, LossyLink) for link in self._links):
+            counters["packets_lost"] = float(
+                sum(link.packets_lost for link in self._links if isinstance(link, LossyLink))
+            )
+        blackholed = sum(link.packets_blackholed for link in self._links)
+        if blackholed:
+            counters["packets_blackholed"] = float(blackholed)
+        burst = sum(link.packets_dropped_in_burst for link in self._links)
+        if burst:
+            counters["packets_dropped_in_burst"] = float(burst)
+        return counters
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -264,7 +287,7 @@ class BaseDeployment:
         """A (possibly lossy) FIFO link for one leg of one participant."""
         loss = spec.loss_for(direction)
         if loss > 0.0:
-            return LossyLink(
+            link = LossyLink(
                 self.engine,
                 model,
                 loss_probability=loss,
@@ -272,7 +295,10 @@ class BaseDeployment:
                 seed=self.runtime.u64(seed_salt),
                 name=name,
             )
-        return Link(self.engine, model, name=name)
+        else:
+            link = Link(self.engine, model, name=name)
+        self._links.append(link)
+        return link
 
     def _wire_mp_submitter(self, index: int, rb_intercept: Callable[[TradeOrder], None]) -> None:
         """Connect an MP's trade output to its RB, honouring mp_to_rb delay."""
@@ -340,6 +366,8 @@ class BaseDeployment:
         def reverse_latency_at(mp_id: str, t: float) -> float:
             return reverse_models[mp_id].latency_at(t)
 
+        counters = dict(self._counters())
+        counters.update(self._link_counters())
         return RunResult(
             scheme=self.scheme_name,
             trades=trades,
@@ -349,5 +377,5 @@ class BaseDeployment:
             delivery_times=self._delivery_times(),
             reverse_latency_at=reverse_latency_at,
             duration=duration,
-            counters=self._counters(),
+            counters=counters,
         )

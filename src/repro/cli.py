@@ -29,12 +29,15 @@ from repro.exchange.feed import FeedConfig
 from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
 from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
 from repro.sim.engine import ENGINE_FACTORIES
+from repro.experiments.chaos import CHAOS_PLANS, make_plan, run_chaos
 from repro.experiments.scenarios import (
     baremetal_specs,
     cloud_specs,
+    congested_specs,
     multizone_specs,
     trace_specs,
 )
+from repro.faults.plan import FaultSchedule
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.metrics.serialization import save_run_result
@@ -45,6 +48,7 @@ __all__ = ["main", "build_parser"]
 SCENARIOS: Dict[str, Callable[..., list]] = {
     "cloud": cloud_specs,
     "baremetal": baremetal_specs,
+    "congested": congested_specs,
     "trace": trace_specs,
     "multizone": multizone_specs,
 }
@@ -108,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--values", nargs="+", type=float, default=[10.0, 20.0, 45.0]
     )
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run a fault plan against a scheme, audit, and diff vs a clean twin"
+    )
+    _add_common(chaos_p)
+    chaos_p.add_argument("--scheme", choices=sorted(SCHEMES), default="dbo")
+    chaos_p.add_argument(
+        "--plan",
+        choices=sorted(CHAOS_PLANS),
+        default="link-flaky",
+        help="named fault plan (scaled to --duration)",
+    )
+    chaos_p.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="JSON fault plan file (overrides --plan)",
+    )
+    chaos_p.add_argument(
+        "--fail-on-violation",
+        action="store_true",
+        help="exit 1 if the auditor records any safety violation",
+    )
+    chaos_p.add_argument(
+        "--json", action="store_true", help="emit the full chaos report as JSON"
+    )
+    _add_scheme_knobs(chaos_p)
 
     repro_p = sub.add_parser(
         "reproduce", help="regenerate every paper table and figure into a directory"
@@ -272,6 +303,65 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    if args.faults:
+        plan = FaultSchedule.load(args.faults)
+    else:
+        plan = make_plan(args.plan, args.duration, args.participants)
+    kwargs = _scheme_kwargs(args.scheme, args)
+    kinds = set(plan.kinds)
+    if args.scheme == "dbo":
+        # These fault kinds need deployment knobs; turn them on rather
+        # than failing arm-time validation on the default topology.
+        if "shard_failure" in kinds and kwargs.get("n_ob_shards", 1) < 2:
+            kwargs["n_ob_shards"] = 2
+        if "gateway_stall" in kinds:
+            kwargs["enable_egress_gateway"] = True
+    report = run_chaos(
+        args.scheme,
+        lambda: _build_specs(args),
+        duration=args.duration,
+        plan=plan,
+        seed=args.seed,
+        feed_config=FeedConfig(interval=args.interval),
+        response_time_model=_build_rt_model(args),
+        engine=args.engine,
+        **kwargs,
+    )
+    violated = not report.safe
+    if args.json:
+        doc = dict(_run_context(args))
+        doc["chaos"] = report.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        deg = report.degradation
+        print(
+            f"chaos plan {plan.name!r} on {args.scheme} / {args.scenario} "
+            f"({args.participants} MPs, {args.duration:.0f} µs)"
+        )
+        for entry in report.injector_summary["log"]:
+            target = f" {entry['target']}" if entry["target"] else ""
+            print(f"  t={entry['time']:>10.1f}  {entry['action']:<7} {entry['kind']}{target}")
+        print(f"clean twin : fairness {deg.clean_fairness_pct:6.2f} %  "
+              f"p99 {deg.clean_p99:8.1f} µs  completion {100 * deg.clean_completion:6.2f} %")
+        print(f"faulted    : fairness {deg.faulted_fairness_pct:6.2f} %  "
+              f"p99 {deg.faulted_p99:8.1f} µs  completion {100 * deg.faulted_completion:6.2f} %")
+        print(f"degradation: fairness -{deg.fairness_drop_pct:.2f} pp, "
+              f"p99 x{deg.p99_inflation:.2f}, completion -{100 * deg.completion_drop:.2f} pp")
+        if deg.fault_counters:
+            print(f"fault counters: {dict(sorted(deg.fault_counters.items()))}")
+        for label, audit in (("clean", report.clean_audit), ("faulted", report.faulted_audit)):
+            counts = audit.counts()
+            verdict = "ok" if audit.ok else f"SAFETY VIOLATIONS {counts}"
+            extra = f" (liveness: {counts})" if audit.ok and counts else ""
+            print(f"audit [{label:>7}]: {verdict}{extra} — "
+                  f"{audit.releases_checked} releases, {audit.heartbeats_checked} heartbeats checked")
+    if args.fail_on_violation and violated:
+        print("chaos: safety violations detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_table(args) -> int:
     fn = TABLES[args.number]
     result = fn(duration=args.duration) if args.duration else fn()
@@ -361,6 +451,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,
+        "chaos": cmd_chaos,
         "table": cmd_table,
         "figure": cmd_figure,
         "sweep": cmd_sweep,

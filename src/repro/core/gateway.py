@@ -65,9 +65,30 @@ class EgressGateway:
         self._pending: Deque[EgressMessage] = deque()
         self.messages_buffered = 0
         self.messages_released = 0
+        self.stalled = False
+        self.stalls = 0
+        self.max_hold = 0.0
 
     def set_sink(self, sink: EgressSink) -> None:
         self.sink = sink
+
+    # ------------------------------------------------------------------
+    def stall(self) -> None:
+        """Fault injection: the gateway stops draining (process hang).
+
+        Clock reports and egress submissions keep accumulating state;
+        nothing is lost — outbound data just waits, which is exactly the
+        safe failure mode the design wants (fail closed, never leak
+        early).
+        """
+        if not self.stalled:
+            self.stalled = True
+            self.stalls += 1
+
+    def resume(self, now: float) -> None:
+        """Recover from a stall and drain everything now releasable."""
+        self.stalled = False
+        self._drain(now)
 
     # ------------------------------------------------------------------
     def on_clock_report(self, mp_id: str, stamp: DeliveryClockStamp, now: float) -> None:
@@ -114,12 +135,15 @@ class EgressGateway:
         return minimum
 
     def _drain(self, now: float) -> None:
+        if self.stalled:
+            return
         safe_id = self._global_delivered_id()
         if safe_id is None:
             return
         while self._pending and self._pending[0].tag.last_point_id <= safe_id:
             message = self._pending.popleft()
             self.messages_released += 1
+            self.max_hold = max(self.max_hold, now - message.submitted_at)
             if self.sink is not None:
                 self.sink(message, now)
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.delivery_clock import DeliveryClockStamp
 from repro.exchange.messages import Heartbeat, TaggedTrade
@@ -99,6 +99,10 @@ class OrderingBuffer:
         # Heap entries: (stamp tuple, mp_id, trade_seq, TaggedTrade).
         self._heap: List[Tuple[Tuple[int, float], str, int, TaggedTrade]] = []
         self._released: Set[Tuple[str, int]] = set()
+        # Keys currently sitting in the heap: retransmitted duplicates of
+        # queued (or already released) trades are absorbed here instead of
+        # tripping the double-queue assertion in the release loop.
+        self._queued: Set[Tuple[str, int]] = set()
         self.incremental_extremes = incremental_extremes
         # Watermarks as plain tuples (mirrors states[*].watermark) plus a
         # cached (min1, min1_mp, min2) over non-stragglers; `_min2_mp`
@@ -114,6 +118,9 @@ class OrderingBuffer:
         self.heartbeats_processed = 0
         self.max_queue_depth = 0
         self.trades_lost_to_crash = 0
+        self.retransmits_ignored = 0
+        self.straggler_ejections = 0
+        self.straggler_readmissions = 0
 
     # ------------------------------------------------------------------
     def set_sink(self, sink: ReleaseSink) -> None:
@@ -137,6 +144,16 @@ class OrderingBuffer:
             raise KeyError(f"trade from unknown participant {mp_id!r}")
         self.trades_received += 1
         stamp: DeliveryClockStamp = tagged.clock
+        key = tagged.trade.key
+        if key in self._released or key in self._queued:
+            # Retransmitted duplicate (RB timeout fired before the ack got
+            # back).  The first copy already counts; the duplicate is still
+            # proof of progress, so its stamp feeds the watermark.
+            self.retransmits_ignored += 1
+            self._advance_watermark(mp_id, stamp)
+            self._try_release(arrival_time)
+            return
+        self._queued.add(key)
         heapq.heappush(
             self._heap,
             (stamp.as_tuple(), mp_id, tagged.trade.trade_seq, tagged),
@@ -190,6 +207,10 @@ class OrderingBuffer:
         straggler = lag > self.straggler_threshold
         if straggler != state.is_straggler:
             state.is_straggler = straggler
+            if straggler:
+                self.straggler_ejections += 1
+            else:
+                self.straggler_readmissions += 1
             self._ext_dirty = True
 
     def _check_silent_stragglers(self, now: float) -> None:
@@ -201,6 +222,7 @@ class OrderingBuffer:
             if now - state.last_heartbeat_arrival > self.straggler_threshold:
                 if not state.is_straggler:
                     state.is_straggler = True
+                    self.straggler_ejections += 1
                     self._ext_dirty = True
 
     # ------------------------------------------------------------------
@@ -324,6 +346,7 @@ class OrderingBuffer:
                 break
             tagged = heapq.heappop(heap)[3]
             key = tagged.trade.key
+            self._queued.discard(key)
             if key in self._released:
                 raise RuntimeError(f"trade {key} queued twice in the OB")
             self._released.add(key)
@@ -344,6 +367,7 @@ class OrderingBuffer:
         """
         lost = len(self._heap)
         self._heap.clear()
+        self._queued.clear()
         for state in self.states.values():
             state.watermark = None
             state.last_heartbeat_arrival = None
@@ -365,6 +389,7 @@ class OrderingBuffer:
         while self._heap:
             _, _, _, tagged = heapq.heappop(self._heap)
             key = tagged.trade.key
+            self._queued.discard(key)
             if key in self._released:
                 continue
             self._released.add(key)
@@ -373,3 +398,43 @@ class OrderingBuffer:
             if self.sink is not None:
                 self.sink(tagged, now)
         return flushed
+
+    # ------------------------------------------------------------------
+    # Recovery / failover support
+    # ------------------------------------------------------------------
+    def add_participant(self, mp_id: str) -> None:
+        """Start waiting on a new participant (shard rerouting).
+
+        The newcomer joins with no watermark, so releases pause until its
+        first report — the conservative choice: releasing without proof of
+        its progress could reorder its in-flight trades.
+        """
+        if mp_id in self.states:
+            return
+        self.states[mp_id] = ParticipantState(mp_id)
+        self._ext_dirty = True
+
+    @property
+    def released_keys(self) -> Set[Tuple[str, int]]:
+        """Snapshot of every ``(mp_id, trade_seq)`` released so far."""
+        return set(self._released)
+
+    def adopt_release_log(self, keys: Iterable[Tuple[str, int]]) -> None:
+        """Inherit a predecessor's release log (standby OB failover).
+
+        The matching engine is part of the durable CES platform, so the
+        set of trades it has consumed survives an OB crash; a standby OB
+        adopts it to keep RB retransmissions from double-releasing.
+        """
+        self._released.update(keys)
+
+    def carry_over_counters(self, predecessor: "OrderingBuffer") -> None:
+        """Continue a crashed predecessor's cumulative statistics."""
+        self.trades_received += predecessor.trades_received
+        self.trades_released += predecessor.trades_released
+        self.heartbeats_processed += predecessor.heartbeats_processed
+        self.max_queue_depth = max(self.max_queue_depth, predecessor.max_queue_depth)
+        self.trades_lost_to_crash += predecessor.trades_lost_to_crash
+        self.retransmits_ignored += predecessor.retransmits_ignored
+        self.straggler_ejections += predecessor.straggler_ejections
+        self.straggler_readmissions += predecessor.straggler_readmissions

@@ -24,6 +24,7 @@ interception at the RB.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
@@ -33,7 +34,7 @@ from repro.sim.clocks import Clock, PerfectClock
 from repro.sim.engine import EventEngine, PeriodicTimer
 from repro.sim.runtime import Runtime, as_runtime
 
-__all__ = ["ReleaseBuffer"]
+__all__ = ["ReleaseBuffer", "RetransmitPolicy"]
 
 # Handler invoked when a batch is delivered to the MP:
 # (points, delivery_time_at_mp).
@@ -41,6 +42,46 @@ MPDeliveryHandler = Callable[[Tuple[MarketDataPoint, ...], float], None]
 # Sink receiving tagged trades / heartbeats (the reverse link's send).
 TradeSink = Callable[[TaggedTrade], None]
 HeartbeatSink = Callable[[Heartbeat], None]
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Ack/retransmit parameters for the RB→OB trade path.
+
+    Without acks, a trade sitting in a crashed OB's queue is simply lost
+    (the paper accepts this unfairness).  With a policy, the RB buffers
+    each tagged trade until the OB acknowledges its *release* and resends
+    on timeout with exponential backoff — paired with a standby OB that
+    inherits the release log, this yields zero lost trades across an OB
+    failover.
+
+    Parameters
+    ----------
+    timeout:
+        µs after sending before the first retransmission.
+    backoff:
+        Multiplier applied to the timeout after each attempt.
+    max_retries:
+        Retransmissions per trade before the RB gives up.
+    ack_latency:
+        One-way OB→RB latency of the ack path (used by the deployment
+        when wiring acks; the RB itself only reacts to :meth:`on_ack`).
+    """
+
+    timeout: float = 2000.0
+    backoff: float = 2.0
+    max_retries: int = 5
+    ack_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("retransmit backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.ack_latency < 0:
+            raise ValueError("ack_latency must be non-negative")
 
 
 class ReleaseBuffer:
@@ -80,6 +121,7 @@ class ReleaseBuffer:
         local_clock: Optional[Clock] = None,
         rb_to_mp: Optional[LatencyModel] = None,
         piggyback_suppression: bool = False,
+        retransmit_policy: Optional[RetransmitPolicy] = None,
     ) -> None:
         if pacing_gap <= 0:
             raise ValueError("pacing_gap (delta) must be positive")
@@ -121,6 +163,18 @@ class ReleaseBuffer:
         self.trades_tagged = 0
         self.trades_dropped_untagged = 0
 
+        # ----- ack / retransmission state (OB-failover recovery) --------
+        self.retransmit_policy = retransmit_policy
+        # key -> tagged trade awaiting an OB release ack.  The original
+        # stamp is resent verbatim: re-tagging would move the trade later
+        # in the order, and the OB dedups on the key anyway.
+        self._unacked: Dict[Tuple[str, int], TaggedTrade] = {}
+        self.trades_retransmitted = 0
+        self.retransmits_abandoned = 0
+        self.acks_received = 0
+        self.batches_dropped_crashed = 0
+        self.restarts = 0
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -148,10 +202,33 @@ class ReleaseBuffer:
         self.crashed = True
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
+        # Fail-stop loses volatile state: in-flight retransmission
+        # obligations die with the process.
+        self._unacked.clear()
+
+    def restart(self, start_time: Optional[float] = None) -> None:
+        """Bring a crashed RB back up (§4.2.1 failure scenario).
+
+        The delivery clock needs no explicit resync: batches that arrived
+        during the outage were dropped, and the next fresh batch carries a
+        strictly higher last point id, so the first post-restart delivery
+        re-anchors ``⟨ld, elapsed⟩`` naturally.  Heartbeats resume, the OB
+        sees them, and its straggler logic readmits the participant.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"RB {self.mp_id!r} is not crashed")
+        self.crashed = False
+        self.restarts += 1
+        self._queue.clear()
+        self._delivery_scheduled = False
+        if self._heartbeats_started:
+            self._heartbeats_started = False
+            self.start_heartbeats(start_time)
 
     def on_batch(self, batch: MarketDataBatch, send_time: float, arrival_time: float) -> None:
         """Network handler for an arriving market-data batch."""
         if self.crashed:
+            self.batches_dropped_crashed += 1
             return
         self.batch_arrivals.append((batch, arrival_time))
         self._queue.append(batch)
@@ -238,7 +315,46 @@ class ReleaseBuffer:
         stamp = self.clock.read(now)
         self.trades_tagged += 1
         self._last_trade_sent_at = now
-        self._trade_sink(TaggedTrade(trade=trade, clock=stamp, tagged_at=now))
+        tagged = TaggedTrade(trade=trade, clock=stamp, tagged_at=now)
+        if self.retransmit_policy is not None:
+            self._unacked[trade.key] = tagged
+            self.engine.schedule_at(
+                now + self.retransmit_policy.timeout,
+                self._retransmit_check,
+                priority=4,
+                args=(trade.key, 1),
+            )
+        self._trade_sink(tagged)
+
+    # ------------------------------------------------------------------
+    # Ack / retransmission (OB-failover recovery)
+    # ------------------------------------------------------------------
+    def on_ack(self, key: Tuple[str, int]) -> None:
+        """The OB released this trade; stop guarding it."""
+        if self._unacked.pop(key, None) is not None:
+            self.acks_received += 1
+
+    def _retransmit_check(self, key: Tuple[str, int], attempt: int) -> None:
+        tagged = self._unacked.get(key)
+        if tagged is None or self.crashed:
+            return
+        policy = self.retransmit_policy
+        if attempt > policy.max_retries:
+            # Cap reached: stop resending.  The trade stays lost unless a
+            # straggling ack is still in flight — mirrors the paper's
+            # "system will incur unfairness" fallback.
+            self.retransmits_abandoned += 1
+            del self._unacked[key]
+            return
+        self.trades_retransmitted += 1
+        self._trade_sink(tagged)
+        delay = policy.timeout * (policy.backoff ** attempt)
+        self.engine.schedule_at(
+            self.engine.now + delay,
+            self._retransmit_check,
+            priority=4,
+            args=(key, attempt + 1),
+        )
 
     # ------------------------------------------------------------------
     # Heartbeats

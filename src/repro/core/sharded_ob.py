@@ -22,7 +22,7 @@ quantifies.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.delivery_clock import DeliveryClockStamp
 from repro.core.ordering_buffer import OrderingBuffer, ReleaseSink
@@ -43,11 +43,33 @@ class MasterOB:
         }
         # Entries: (stamp tuple, shard_id, mp_id, trade_seq, TaggedTrade).
         self._heap: List[Tuple[Tuple[int, float], str, str, int, TaggedTrade]] = []
+        # Released (mp_id, trade_seq) keys: RB retransmissions rerouted
+        # through a different shard after a shard failure must not reach
+        # the matching engine twice.
+        self._released: Set[Tuple[str, int]] = set()
+        self._retired: Set[str] = set()
         self.trades_released = 0
         self.summaries_processed = 0
+        self.duplicates_ignored = 0
+        self.late_shard_messages = 0
 
     def set_sink(self, sink: ReleaseSink) -> None:
         self.sink = sink
+
+    def remove_shard(self, shard_id: str, now: float = 0.0) -> None:
+        """Stop waiting on a failed shard (§5.2 + failure handling).
+
+        The dead shard's watermark leaves the release rule immediately —
+        otherwise the master would stall forever — and messages still in
+        flight on its hop link are dropped on arrival (counted).
+        """
+        if shard_id not in self._watermarks:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        del self._watermarks[shard_id]
+        self._retired.add(shard_id)
+        if self._watermarks:
+            # Release anything the dead shard's watermark was holding back.
+            self._try_release(now)
 
     def on_shard_trade(self, shard_id: str, tagged: TaggedTrade, now: float) -> None:
         """A trade the shard deemed safe w.r.t. its own subset.
@@ -57,7 +79,14 @@ class MasterOB:
         shard's watermark is advanced to the trade's stamp.
         """
         if shard_id not in self._watermarks:
+            if shard_id in self._retired:
+                self.late_shard_messages += 1
+                return
             raise KeyError(f"unknown shard {shard_id!r}")
+        key = tagged.trade.key
+        if key in self._released:
+            self.duplicates_ignored += 1
+            return
         stamp: DeliveryClockStamp = tagged.clock
         current = self._watermarks[shard_id]
         if current is None or stamp > current:
@@ -71,6 +100,9 @@ class MasterOB:
     def on_shard_summary(self, shard_id: str, watermark: Optional[DeliveryClockStamp], now: float) -> None:
         """A shard's summary heartbeat: the min watermark of its subset."""
         if shard_id not in self._watermarks:
+            if shard_id in self._retired:
+                self.late_shard_messages += 1
+                return
             raise KeyError(f"unknown shard {shard_id!r}")
         self.summaries_processed += 1
         current = self._watermarks[shard_id]
@@ -106,6 +138,11 @@ class MasterOB:
             if stamp_tuple >= bound.as_tuple():
                 break
             _, _, _, _, tagged = heapq.heappop(self._heap)
+            key = tagged.trade.key
+            if key in self._released:
+                self.duplicates_ignored += 1
+                continue
+            self._released.add(key)
             self.trades_released += 1
             if self.sink is not None:
                 self.sink(tagged, now)
@@ -115,6 +152,11 @@ class MasterOB:
         flushed = 0
         while self._heap:
             _, _, _, _, tagged = heapq.heappop(self._heap)
+            key = tagged.trade.key
+            if key in self._released:
+                self.duplicates_ignored += 1
+                continue
+            self._released.add(key)
             self.trades_released += 1
             flushed += 1
             if self.sink is not None:
@@ -185,6 +227,23 @@ class ShardOB:
             self.master.on_shard_trade(self.shard_id, payload, arrival_time)
         else:
             self.master.on_shard_summary(self.shard_id, payload, arrival_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def participants(self) -> List[str]:
+        return list(self._inner.states)
+
+    @property
+    def trades_lost_to_crash(self) -> int:
+        return self._inner.trades_lost_to_crash
+
+    def fail(self) -> int:
+        """Fail-stop this shard, losing every trade in its queue."""
+        return self._inner.crash()
+
+    def adopt_participant(self, mp_id: str) -> None:
+        """Take over a participant rerouted from a failed shard."""
+        self._inner.add_participant(mp_id)
 
     # ------------------------------------------------------------------
     def on_tagged_trade(self, tagged: TaggedTrade, send_time: float, arrival_time: float) -> None:

@@ -18,9 +18,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.base import BaseDeployment, NetworkSpec
 from repro.core.batcher import Batcher
+from repro.core.gateway import EgressGateway
 from repro.core.ordering_buffer import OrderingBuffer
 from repro.core.params import DBOParams
-from repro.core.release_buffer import ReleaseBuffer
+from repro.core.release_buffer import ReleaseBuffer, RetransmitPolicy
 from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
 from repro.core.sync_delivery import SyncAssistedReleaseBuffer
 from repro.exchange.feed import FeedConfig
@@ -91,6 +92,8 @@ class DBODeployment(BaseDeployment):
         ob_service_time: float = 0.0,
         risk_limits=None,
         ob_incremental_extremes: bool = True,
+        retransmit_policy: Optional[RetransmitPolicy] = None,
+        enable_egress_gateway: bool = False,
         runtime: Optional[Runtime] = None,
     ) -> None:
         super().__init__(
@@ -133,6 +136,25 @@ class DBODeployment(BaseDeployment):
         self.multicast = MulticastGroup()
         self.reverse_links: Dict[str, Link] = {}
         self.batcher: Optional[Batcher] = None
+        # ----- recovery-protocol state (fault-injection support) --------
+        # When set, the OB acks each release back to the originating RB
+        # and the RBs retransmit unacked trades (see RetransmitPolicy).
+        self.retransmit_policy = retransmit_policy
+        self.enable_egress_gateway = enable_egress_gateway
+        self.egress_gateway: Optional[EgressGateway] = None
+        self._rb_by_id: Dict[str, ReleaseBuffer] = {}
+        # The composed release sink (ME/risk-gate + acks + observers);
+        # standby OBs built on failover reuse it unchanged.
+        self._release_sink = None
+        # Observation hooks called as (tagged, now) on every release and
+        # (heartbeat, arrival) on every OB-bound heartbeat — the invariant
+        # auditor taps the pipeline here without touching the data path.
+        # Appending is allowed any time before run().
+        self._release_observers: List[Callable[[TaggedTrade, float], None]] = []
+        self._heartbeat_observers: List[Callable[[Heartbeat, float], None]] = []
+        self._failed_shards: set = set()
+        self.ob_failovers = 0
+        self.shard_failures = 0
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -152,11 +174,29 @@ class DBODeployment(BaseDeployment):
 
             me.on_execution = on_execution
 
-            def release_sink(tagged: TaggedTrade, now: float) -> None:
+            def base_sink(tagged: TaggedTrade, now: float) -> None:
                 self.risk_gate.submit(tagged.trade, forward_time=now)
         else:
-            def release_sink(tagged: TaggedTrade, now: float) -> None:
+            def base_sink(tagged: TaggedTrade, now: float) -> None:
                 me.submit(tagged.trade, forward_time=now)
+
+        def release_sink(tagged: TaggedTrade, now: float) -> None:
+            base_sink(tagged, now)
+            for observer in self._release_observers:
+                observer(tagged, now)
+            if self.retransmit_policy is not None:
+                # Ack the release back to the originating RB so it stops
+                # guarding the trade; the ack path has its own latency.
+                rb = self._rb_by_id.get(tagged.trade.mp_id)
+                if rb is not None:
+                    self.engine.schedule_at(
+                        now + self.retransmit_policy.ack_latency,
+                        rb.on_ack,
+                        priority=5,
+                        args=(tagged.trade.key,),
+                    )
+
+        self._release_sink = release_sink
 
         if self.n_ob_shards <= 1:
             self.ordering_buffer = OrderingBuffer(
@@ -199,6 +239,9 @@ class DBODeployment(BaseDeployment):
         )
         self.ces.set_distributor(self.batcher.on_point)
 
+        if self.enable_egress_gateway:
+            self.egress_gateway = EgressGateway(list(self.mp_ids))
+
         for index, spec in enumerate(self.specs):
             mp_id = self.mp_ids[index]
             pacing_gap = 1e-9 if self.disable_pacing else params.delta
@@ -219,6 +262,7 @@ class DBODeployment(BaseDeployment):
                     rb_to_mp=spec.rb_to_mp,
                 )
                 rb.piggyback_suppression = self.piggyback_suppression
+                rb.retransmit_policy = self.retransmit_policy
             else:
                 rb = ReleaseBuffer(
                     self.engine,
@@ -228,8 +272,10 @@ class DBODeployment(BaseDeployment):
                     local_clock=self._make_rb_clock(index),
                     rb_to_mp=spec.rb_to_mp,
                     piggyback_suppression=self.piggyback_suppression,
+                    retransmit_policy=self.retransmit_policy,
                 )
             self.release_buffers.append(rb)
+            self._rb_by_id[mp_id] = rb
 
             forward = self._make_link(
                 spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index
@@ -253,23 +299,60 @@ class DBODeployment(BaseDeployment):
                 trade_sink=lambda tagged, link=reverse: link.send(tagged),
                 heartbeat_sink=lambda hb, link=reverse: link.send(hb),
             )
-            rb.connect_mp(self.participants[index].on_data)
-            self._wire_mp_submitter(index, rb.on_mp_trade)
+            mp_handler = self.participants[index].on_data
+            mp_submitter = rb.on_mp_trade
+            if self.egress_gateway is not None:
+                gateway = self.egress_gateway
+
+                def mp_handler(points, mp_time, rb=rb, mp_id=mp_id,
+                               inner=self.participants[index].on_data):
+                    inner(points, mp_time)
+                    # The RB reports delivery progress so the gateway can
+                    # judge when outbound data is globally stale.
+                    now = self.engine.now
+                    if rb.clock.started:
+                        gateway.on_clock_report(mp_id, rb.clock.read(now), now)
+
+                def mp_submitter(trade, rb=rb, mp_id=mp_id):
+                    rb.on_mp_trade(trade)
+                    # Outbound copy (e.g. strategy telemetry leaving the
+                    # cloud) is tagged and held until globally delivered.
+                    now = self.engine.now
+                    if rb.clock.started:
+                        gateway.on_egress(
+                            mp_id, ("order-copy", trade.key), rb.clock.read(now), now
+                        )
+
+            rb.connect_mp(mp_handler)
+            self._wire_mp_submitter(index, mp_submitter)
 
     def _make_ob_dispatcher(self, mp_id: str):
-        """Reverse-link handler routing trades/heartbeats to the right OB."""
+        """Reverse-link handler routing trades/heartbeats to the right OB.
+
+        The target is resolved per message, not captured at build time:
+        OB failover swaps ``self.ordering_buffer`` for a standby, and a
+        shard failure rewrites ``self._shard_routing`` — messages already
+        in flight must land on whoever owns the participant on arrival.
+        """
         if self.n_ob_shards <= 1:
-            target = self.ordering_buffer
             component_id = "ob"
+
+            def resolve():
+                return self.ordering_buffer
         else:
-            target = self._shard_routing[mp_id]
-            component_id = target.shard_id
+            component_id = self._shard_routing[mp_id].shard_id
+
+            def resolve():
+                return self._shard_routing[mp_id]
 
         def process(message, arrival_time: float) -> None:
+            target = resolve()
             if isinstance(message, TaggedTrade):
                 target.on_tagged_trade(message, arrival_time, arrival_time)
             elif isinstance(message, Heartbeat):
                 target.on_heartbeat(message, arrival_time, arrival_time)
+                for observer in self._heartbeat_observers:
+                    observer(message, arrival_time)
             else:  # pragma: no cover - wiring error
                 raise TypeError(f"unexpected reverse-path message: {message!r}")
 
@@ -305,13 +388,82 @@ class DBODeployment(BaseDeployment):
             self.network_send_times[point.point_id] = now
         self.multicast.publish(batch, send_time=now)
 
+    # ------------------------------------------------------------------
+    # Failure handling (§4.2.1, §5.2) — driven by the fault injector
+    # ------------------------------------------------------------------
+    def failover_ob(self) -> int:
+        """Crash the flat OB and promote a cold standby.
+
+        The standby starts with empty queue and watermarks (rebuilt from
+        the next heartbeat round) but inherits the release log — the
+        matching engine is part of the durable CES platform, so which
+        trades it has consumed survives the crash.  With a retransmit
+        policy on the RBs, every trade lost from the dead OB's queue is
+        resent and eventually released: zero lost trades.  Without one,
+        the queue contents are gone (the paper's stated unfairness).
+
+        Returns the number of trades the dead OB lost.
+        """
+        if self.ordering_buffer is None:
+            raise RuntimeError("OB failover requires the flat (non-sharded) deployment")
+        old = self.ordering_buffer
+        lost = old.crash()
+        standby = OrderingBuffer(
+            participants=list(self.mp_ids),
+            sink=self._release_sink,
+            generation_time_of=self.ces.generation_time_of,
+            straggler_threshold=self.params.straggler_threshold,
+            latest_point_id=lambda: self.ces.points_generated - 1,
+            incremental_extremes=self.ob_incremental_extremes,
+        )
+        standby.adopt_release_log(old.released_keys)
+        standby.carry_over_counters(old)
+        self.ordering_buffer = standby
+        self.ob_failovers += 1
+        return lost
+
+    def fail_shard(self, shard_id: str) -> int:
+        """Fail-stop one OB shard and reroute its participants.
+
+        The master stops waiting on the dead shard's watermark, surviving
+        shards adopt its participants round-robin, and the reverse-link
+        dispatchers pick up the new routing on the next arrival.  Trades
+        queued inside the dead shard are lost (recoverable only via RB
+        retransmission).  Returns the number of trades lost.
+        """
+        if self.master_ob is None:
+            raise RuntimeError("shard failure requires n_ob_shards > 1")
+        dead = next((s for s in self.shards if s.shard_id == shard_id), None)
+        if dead is None:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if shard_id in self._failed_shards:
+            raise RuntimeError(f"shard {shard_id!r} already failed")
+        survivors = [
+            s for s in self.shards
+            if s is not dead and s.shard_id not in self._failed_shards
+        ]
+        if not survivors:
+            raise RuntimeError("no surviving shard to reroute participants to")
+        orphans = [mp for mp, shard in self._shard_routing.items() if shard is dead]
+        lost = dead.fail()
+        self.master_ob.remove_shard(shard_id, self.engine.now)
+        for index, mp in enumerate(sorted(orphans)):
+            target = survivors[index % len(survivors)]
+            target.adopt_participant(mp)
+            self._shard_routing[mp] = target
+        self._failed_shards.add(shard_id)
+        self.shard_failures += 1
+        return lost
+
     def _start(self, duration: float) -> None:
         self.batcher.start(0.0)
         if self.telemetry_interval is not None:
             self.telemetry = self.runtime.attach_telemetry(self.telemetry_interval)
             if self.ordering_buffer is not None:
-                ob = self.ordering_buffer
-                self.telemetry.add("ob_queue_depth", lambda: ob.queue_depth)
+                # Resolved per sample: a failover swaps the OB instance.
+                self.telemetry.add(
+                    "ob_queue_depth", lambda: self.ordering_buffer.queue_depth
+                )
             for rb in self.release_buffers:
                 self.telemetry.add(
                     f"rb_queue_{rb.mp_id}", lambda rb=rb: len(rb._queue)
@@ -359,6 +511,43 @@ class DBODeployment(BaseDeployment):
             counters["ob_heartbeats_processed"] = self.ordering_buffer.heartbeats_processed
             counters["ob_max_queue_depth"] = self.ordering_buffer.max_queue_depth
             counters["ob_stragglers_now"] = len(self.ordering_buffer.straggler_ids())
+            ob = self.ordering_buffer
+            if ob.trades_lost_to_crash or self.ob_failovers:
+                counters["trades_lost_to_crash"] = float(ob.trades_lost_to_crash)
+            if ob.retransmits_ignored:
+                counters["ob_retransmits_ignored"] = float(ob.retransmits_ignored)
+            if ob.straggler_ejections:
+                counters["straggler_ejections"] = float(ob.straggler_ejections)
+                counters["straggler_readmissions"] = float(ob.straggler_readmissions)
+        if self.ob_failovers:
+            counters["ob_failovers"] = float(self.ob_failovers)
+        if self.retransmit_policy is not None:
+            counters["trades_retransmitted"] = float(
+                sum(rb.trades_retransmitted for rb in self.release_buffers)
+            )
+            counters["acks_received"] = float(
+                sum(rb.acks_received for rb in self.release_buffers)
+            )
+            counters["retransmits_abandoned"] = float(
+                sum(rb.retransmits_abandoned for rb in self.release_buffers)
+            )
+        rb_restarts = sum(rb.restarts for rb in self.release_buffers)
+        if rb_restarts:
+            counters["rb_restarts"] = float(rb_restarts)
+            counters["batches_dropped_crashed"] = float(
+                sum(rb.batches_dropped_crashed for rb in self.release_buffers)
+            )
+        if self.egress_gateway is not None:
+            counters["gateway_messages_buffered"] = float(
+                self.egress_gateway.messages_buffered
+            )
+            counters["gateway_messages_released"] = float(
+                self.egress_gateway.messages_released
+            )
+            counters["gateway_pending_at_end"] = float(self.egress_gateway.pending_count)
+            counters["gateway_max_hold"] = float(self.egress_gateway.max_hold)
+            if self.egress_gateway.stalls:
+                counters["gateway_stalls"] = float(self.egress_gateway.stalls)
         if self.risk_gate is not None:
             counters["risk_rejections"] = float(len(self.risk_gate.rejections))
             counters["risk_passed"] = float(self.risk_gate.orders_passed)
@@ -374,4 +563,16 @@ class DBODeployment(BaseDeployment):
             counters["shard_heartbeats_processed"] = sum(
                 shard.heartbeats_processed for shard in self.shards
             )
+            if self.shard_failures:
+                counters["shard_failures"] = float(self.shard_failures)
+                counters["trades_lost_to_crash"] = float(
+                    sum(shard.trades_lost_to_crash for shard in self.shards)
+                )
+                counters["master_late_shard_messages"] = float(
+                    self.master_ob.late_shard_messages
+                )
+            if self.master_ob.duplicates_ignored:
+                counters["master_duplicates_ignored"] = float(
+                    self.master_ob.duplicates_ignored
+                )
         return counters

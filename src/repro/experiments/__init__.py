@@ -1,5 +1,12 @@
 """Experiment harness: scenarios, runner, and table/figure regeneration."""
 
+from repro.experiments.chaos import (
+    CHAOS_PLANS,
+    ChaosRunReport,
+    audit_all_schemes,
+    make_plan,
+    run_chaos,
+)
 from repro.experiments.figures import (
     FigureResult,
     figure2_cloudex_spike,
@@ -43,6 +50,11 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "CHAOS_PLANS",
+    "ChaosRunReport",
+    "audit_all_schemes",
+    "make_plan",
+    "run_chaos",
     "FigureResult",
     "figure2_cloudex_spike",
     "figure7_pacing_drain",

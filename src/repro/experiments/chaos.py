@@ -1,0 +1,268 @@
+"""The chaos scenario family: fault plans, twin runs, and audit reports.
+
+A chaos experiment runs one scheme twice from the same seed:
+
+* a **clean twin** — no faults, auditor attached (its report must be
+  empty: the machinery is sound under the scenario's own noise);
+* a **faulted run** — the same workload with a fault plan armed, the
+  auditor watching, and the injector logging what fired when.
+
+Both runs get *fresh* network specs from a factory (latency models carry
+mutable state — spike processes, degradation wrappers — so twins must
+never share spec objects).  The pair reduces to a
+:class:`~repro.metrics.degradation.DegradationReport`: what the failure
+mode cost in fairness, latency, and completion.
+
+Named plans are scaled to the run: trigger times are fractions of the
+duration, so ``--duration`` changes don't silently push faults past the
+end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import NetworkSpec
+from repro.experiments.runner import build_deployment
+from repro.faults.auditor import AuditReport, InvariantAuditor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultSchedule, FaultSpec
+from repro.metrics.degradation import DegradationReport, fairness_degradation
+from repro.metrics.records import RunResult
+from repro.metrics.serialization import trade_ordering_digest
+
+__all__ = [
+    "CHAOS_PLANS",
+    "ChaosRunReport",
+    "audit_all_schemes",
+    "make_plan",
+    "run_chaos",
+]
+
+
+# ----------------------------------------------------------------------
+# Named plan factories: (duration, n_participants) -> FaultSchedule
+# ----------------------------------------------------------------------
+def _plan_link_flaky(duration: float, n: int) -> FaultSchedule:
+    """Forward-path burst loss + a latency degradation.
+
+    No trades are dropped (market data has no retransmission on the
+    burst path; trades ride the untouched reverse legs), so the ordering
+    invariants must hold exactly: this is the CI smoke plan.
+    """
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="link_burst_loss", at=0.2 * duration, duration=0.2 * duration,
+            target="mp0", magnitude=0.3, direction="forward", seed=1,
+        ),
+        FaultSpec(
+            kind="latency_degradation", at=0.45 * duration, duration=0.3 * duration,
+            target="mp" + str(min(1, n - 1)), magnitude=150.0, factor=1.5,
+            direction="both",
+        ),
+        name="link-flaky",
+    )
+
+
+def _plan_latency_spike(duration: float, n: int) -> FaultSchedule:
+    """A long two-participant slow zone (overloaded rack)."""
+    second = "mp" + str(min(1, n - 1))
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="latency_degradation", at=0.25 * duration, duration=0.5 * duration,
+            target="mp0", magnitude=400.0, direction="both",
+        ),
+        FaultSpec(
+            kind="latency_degradation", at=0.35 * duration, duration=0.3 * duration,
+            target=second, factor=3.0, direction="forward",
+        ),
+        name="latency-spike",
+    )
+
+
+def _plan_partition(duration: float, n: int) -> FaultSchedule:
+    """One participant's forward leg blackholes mid-run."""
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="partition", at=0.3 * duration, duration=0.15 * duration,
+            target="mp0", direction="forward",
+        ),
+        name="partition",
+    )
+
+
+def _plan_rb_outage(duration: float, n: int) -> FaultSchedule:
+    """A release buffer crashes and restarts (§4.2.1 RB/MP failure)."""
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="rb_crash", at=0.3 * duration, duration=0.25 * duration,
+            target="mp" + str(min(1, n - 1)),
+        ),
+        name="rb-outage",
+    )
+
+
+def _plan_ob_failover(duration: float, n: int) -> FaultSchedule:
+    """The OB crashes and a standby takes over mid-run."""
+    return FaultSchedule.of(
+        FaultSpec(kind="ob_failover", at=0.4 * duration),
+        name="ob-failover",
+    )
+
+
+def _plan_shard_loss(duration: float, n: int) -> FaultSchedule:
+    """One OB shard fail-stops; the master reroutes (needs >= 2 shards)."""
+    return FaultSchedule.of(
+        FaultSpec(kind="shard_failure", at=0.4 * duration, target="shard-1"),
+        name="shard-loss",
+    )
+
+
+def _plan_gateway_stall(duration: float, n: int) -> FaultSchedule:
+    """The egress gateway hangs, then resumes (fail-closed hold)."""
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="gateway_stall", at=0.3 * duration, duration=0.3 * duration,
+        ),
+        name="gateway-stall",
+    )
+
+
+CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
+    "link-flaky": _plan_link_flaky,
+    "latency-spike": _plan_latency_spike,
+    "partition": _plan_partition,
+    "rb-outage": _plan_rb_outage,
+    "ob-failover": _plan_ob_failover,
+    "shard-loss": _plan_shard_loss,
+    "gateway-stall": _plan_gateway_stall,
+}
+
+
+def make_plan(name: str, duration: float, n_participants: int) -> FaultSchedule:
+    """Instantiate a named plan scaled to the run."""
+    try:
+        factory = CHAOS_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos plan {name!r}; choose from {sorted(CHAOS_PLANS)}"
+        ) from None
+    return factory(duration, n_participants)
+
+
+# ----------------------------------------------------------------------
+# Twin runner
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosRunReport:
+    """Everything a chaos experiment produced, clean twin included."""
+
+    scheme: str
+    plan: FaultSchedule
+    clean: RunResult
+    faulted: RunResult
+    clean_audit: AuditReport
+    faulted_audit: AuditReport
+    injector_summary: Dict[str, Any]
+    degradation: DegradationReport
+    clean_digest: str
+    faulted_digest: str
+
+    @property
+    def safe(self) -> bool:
+        """No safety violation in either run (liveness events allowed)."""
+        return self.clean_audit.ok and self.faulted_audit.ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "plan": self.plan.to_dict(),
+            "safe": self.safe,
+            "clean_audit": self.clean_audit.to_dict(),
+            "faulted_audit": self.faulted_audit.to_dict(),
+            "injector": dict(self.injector_summary),
+            "degradation": self.degradation.to_dict(),
+            "clean_digest": self.clean_digest,
+            "faulted_digest": self.faulted_digest,
+        }
+
+
+def run_chaos(
+    scheme: str,
+    specs_factory: Callable[[], Sequence[NetworkSpec]],
+    duration: float,
+    plan: FaultSchedule,
+    seed: int = 0,
+    drain: Optional[float] = None,
+    stall_timeout: Optional[float] = 50_000.0,
+    **kwargs,
+) -> ChaosRunReport:
+    """Run ``scheme`` clean and faulted from the same seed; audit both.
+
+    ``specs_factory`` is called once per run — twins must not share
+    mutable latency-model state.  Remaining kwargs reach the deployment
+    constructor (scheme params, ``n_ob_shards``, ...).  Plans containing
+    ``shard_failure`` or ``gateway_stall`` need the matching deployment
+    knobs (``n_ob_shards >= 2`` / ``enable_egress_gateway=True``) — the
+    injector's arm-time validation reports anything missing.
+    """
+    kinds = set(plan.kinds)
+    if "shard_failure" in kinds:
+        kwargs.setdefault("n_ob_shards", 2)
+    if "gateway_stall" in kinds:
+        kwargs.setdefault("enable_egress_gateway", True)
+
+    clean_deployment = build_deployment(scheme, specs_factory(), seed=seed, **kwargs)
+    clean_auditor = InvariantAuditor(stall_timeout=stall_timeout)
+    clean_auditor.attach(clean_deployment)
+    clean = clean_deployment.run(duration=duration, drain=drain)
+
+    faulted_deployment = build_deployment(scheme, specs_factory(), seed=seed, **kwargs)
+    injector = FaultInjector(plan)
+    injector.arm(faulted_deployment)
+    faulted_auditor = InvariantAuditor(stall_timeout=stall_timeout)
+    faulted_auditor.attach(faulted_deployment)
+    faulted = faulted_deployment.run(duration=duration, drain=drain)
+
+    return ChaosRunReport(
+        scheme=scheme,
+        plan=plan,
+        clean=clean,
+        faulted=faulted,
+        clean_audit=clean_auditor.report(),
+        faulted_audit=faulted_auditor.report(),
+        injector_summary=injector.summary(),
+        degradation=fairness_degradation(clean, faulted, plan=plan.name),
+        clean_digest=trade_ordering_digest(clean),
+        faulted_digest=trade_ordering_digest(faulted),
+    )
+
+
+def audit_all_schemes(
+    specs_factory: Callable[[], Sequence[NetworkSpec]],
+    duration: float,
+    seed: int = 0,
+    schemes: Optional[List[str]] = None,
+    scheme_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    **kwargs,
+) -> Dict[str, AuditReport]:
+    """Fault-free audit sweep: every registered scheme must come back clean.
+
+    Used by tests and the CI smoke step to pin the invariant "no scheme
+    violates safety without injected faults".  ``scheme_kwargs`` carries
+    per-scheme constructor overrides (e.g. an FBA ``batch_interval``
+    short enough for the run).
+    """
+    from repro.experiments.registry import available_schemes
+
+    reports: Dict[str, AuditReport] = {}
+    for scheme in schemes if schemes is not None else available_schemes():
+        extra = dict(kwargs)
+        extra.update((scheme_kwargs or {}).get(scheme, {}))
+        deployment = build_deployment(scheme, specs_factory(), seed=seed, **extra)
+        auditor = InvariantAuditor()
+        auditor.attach(deployment)
+        deployment.run(duration=duration)
+        reports[scheme] = auditor.report()
+    return reports

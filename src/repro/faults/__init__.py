@@ -1,0 +1,30 @@
+"""Fault injection, recovery orchestration, and invariant auditing.
+
+This package turns the simulator into a chaos harness for the paper's
+failure discussion (§4.2.1 "Handling failures", §5.2):
+
+* :mod:`repro.faults.plan` — declarative fault plans: which fault, when,
+  against which component, for how long.  Loadable from JSON so chaos
+  scenarios are data, not code.
+* :mod:`repro.faults.injector` — arms a plan against a deployment:
+  schedules the fault (and its recovery) as ordinary engine events, so
+  chaos runs stay deterministic and seed-reproducible.
+* :mod:`repro.faults.auditor` — an observation-only monitor that checks
+  the LRTF machinery's invariants (release order, no double release,
+  watermark monotonicity, progress) while faults fire, and emits a
+  structured violation report.
+"""
+
+from repro.faults.auditor import AuditReport, InvariantAuditor, Violation
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultSchedule, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "InvariantAuditor",
+    "AuditReport",
+    "Violation",
+]

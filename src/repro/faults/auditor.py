@@ -1,0 +1,302 @@
+"""Online invariant auditor for the LRTF ordering machinery.
+
+The auditor is *observation-only*: it taps the deployment's release and
+heartbeat paths (telemetry-style hooks) and never mutates the system.
+It checks:
+
+Safety (a violation means the ordering machinery misbehaved — or, under
+injected failover/straggler faults, quantifies the unfairness the paper
+accepts):
+
+* **release_order** — trades must leave the OB in non-decreasing
+  delivery-clock order.  Retransmitted trades released after an OB
+  failover carry their original (old) stamps, so failover plans
+  *expect* a measurable count here; fault-free runs must show zero.
+* **duplicate_release** — no trade key reaches the matching engine
+  twice.
+* **watermark_regression** — each participant's heartbeat stamps are
+  non-decreasing (FIFO links + a monotone delivery clock guarantee it;
+  a regression would unsoundly unblock releases).
+
+Liveness (reported separately — stalls are degradation, not
+incorrectness):
+
+* **progress_stall** — trades are queued but none released for longer
+  than ``stall_timeout`` while the feed is active.
+
+For non-DBO schemes (no delivery clocks) the auditor degrades to the
+checks that still make sense: duplicate submission and forward-time
+monotonicity at the matching engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.exchange.messages import Heartbeat, TaggedTrade
+
+__all__ = ["InvariantAuditor", "AuditReport", "Violation"]
+
+SAFETY_KINDS = ("release_order", "duplicate_release", "watermark_regression")
+LIVENESS_KINDS = ("progress_stall",)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    kind: str
+    time: float
+    detail: str
+    mp_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "time": self.time, "detail": self.detail}
+        if self.mp_id is not None:
+            out["mp_id"] = self.mp_id
+        return out
+
+
+@dataclass
+class AuditReport:
+    """Structured audit outcome; deterministic for a given run."""
+
+    scheme: str
+    violations: List[Violation] = field(default_factory=list)
+    releases_checked: int = 0
+    heartbeats_checked: int = 0
+
+    @property
+    def safety_violations(self) -> List[Violation]:
+        return [v for v in self.violations if v.kind in SAFETY_KINDS]
+
+    @property
+    def liveness_events(self) -> List[Violation]:
+        return [v for v in self.violations if v.kind in LIVENESS_KINDS]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *safety* invariant was violated."""
+        return not self.safety_violations
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.kind] = out.get(violation.kind, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "ok": self.ok,
+            "releases_checked": self.releases_checked,
+            "heartbeats_checked": self.heartbeats_checked,
+            "counts": dict(sorted(self.counts().items())),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class InvariantAuditor:
+    """Attachable safety/liveness monitor.
+
+    Usage::
+
+        auditor = InvariantAuditor()
+        auditor.attach(deployment)      # before deployment.run(...)
+        deployment.run(duration=...)
+        report = auditor.report()
+
+    Parameters
+    ----------
+    stall_timeout:
+        µs of zero release progress (while trades are queued) before a
+        ``progress_stall`` event is recorded.  ``None`` disables the
+        probe (it needs an engine timer; the safety checks are passive).
+    stall_check_interval:
+        Probe cadence; defaults to ``stall_timeout / 4``.
+    """
+
+    def __init__(
+        self,
+        stall_timeout: Optional[float] = 50_000.0,
+        stall_check_interval: Optional[float] = None,
+    ) -> None:
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        self.stall_timeout = stall_timeout
+        self.stall_check_interval = (
+            stall_check_interval
+            if stall_check_interval is not None
+            else (stall_timeout / 4.0 if stall_timeout is not None else None)
+        )
+        self.deployment = None
+        self.attached = False
+        self.violations: List[Violation] = []
+        self.releases_checked = 0
+        self.heartbeats_checked = 0
+        # Release-order state.
+        self._last_release_stamp: Optional[Tuple[int, float]] = None
+        self._released_keys: Set[Tuple[str, int]] = set()
+        # Per-participant heartbeat watermark state.
+        self._last_heartbeat_stamp: Dict[str, Tuple[int, float]] = {}
+        # Non-DBO fallback state.
+        self._last_forward_time: Optional[float] = None
+        # Stall-probe state.
+        self._last_released_count = 0
+        self._stall_since: Optional[float] = None
+        self._stall_reported = False
+
+    # ------------------------------------------------------------------
+    def attach(self, deployment) -> None:
+        """Hook into ``deployment``; call before ``run()``."""
+        if self.attached:
+            raise RuntimeError("auditor already attached")
+        if getattr(deployment, "_built", False):
+            raise RuntimeError("attach the auditor before the deployment builds (run())")
+        self.deployment = deployment
+        if hasattr(deployment, "_release_observers"):
+            deployment._release_observers.append(self._on_release)
+            deployment._heartbeat_observers.append(self._on_heartbeat)
+            if self.stall_timeout is not None:
+                deployment.engine.schedule_periodic(
+                    self.stall_check_interval,
+                    self.stall_check_interval,
+                    self._stall_probe,
+                    priority=9,
+                )
+        else:
+            self._wrap_matching_engine(deployment)
+        self.attached = True
+
+    def _wrap_matching_engine(self, deployment) -> None:
+        me = deployment.ces.matching_engine
+        original = me.submit
+
+        def audited_submit(trade, *args, **kwargs):
+            now = deployment.engine.now
+            key = trade.key
+            self.releases_checked += 1
+            if key in self._released_keys:
+                self._record("duplicate_release", now, f"trade {key} submitted twice", trade.mp_id)
+            else:
+                self._released_keys.add(key)
+            forward_time = kwargs.get("forward_time")
+            if forward_time is not None:
+                if (
+                    self._last_forward_time is not None
+                    and forward_time < self._last_forward_time
+                ):
+                    self._record(
+                        "release_order",
+                        now,
+                        f"forward_time {forward_time} behind {self._last_forward_time}",
+                        trade.mp_id,
+                    )
+                else:
+                    self._last_forward_time = forward_time
+            return original(trade, *args, **kwargs)
+
+        me.submit = audited_submit
+
+    # ------------------------------------------------------------------
+    # Observers (DBO path)
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, time: float, detail: str, mp_id: Optional[str] = None) -> None:
+        self.violations.append(Violation(kind=kind, time=time, detail=detail, mp_id=mp_id))
+
+    def _on_release(self, tagged: TaggedTrade, now: float) -> None:
+        self.releases_checked += 1
+        key = tagged.trade.key
+        if key in self._released_keys:
+            self._record(
+                "duplicate_release", now, f"trade {key} released twice", tagged.trade.mp_id
+            )
+        else:
+            self._released_keys.add(key)
+        stamp = tagged.clock.as_tuple()
+        if self._last_release_stamp is not None and stamp < self._last_release_stamp:
+            self._record(
+                "release_order",
+                now,
+                f"stamp {stamp} released after {self._last_release_stamp}",
+                tagged.trade.mp_id,
+            )
+        else:
+            self._last_release_stamp = stamp
+
+    def _on_heartbeat(self, heartbeat: Heartbeat, arrival: float) -> None:
+        if heartbeat.clock is None:
+            return
+        self.heartbeats_checked += 1
+        stamp = heartbeat.clock.as_tuple()
+        previous = self._last_heartbeat_stamp.get(heartbeat.mp_id)
+        if previous is not None and stamp < previous:
+            self._record(
+                "watermark_regression",
+                arrival,
+                f"heartbeat stamp {stamp} behind {previous}",
+                heartbeat.mp_id,
+            )
+        else:
+            self._last_heartbeat_stamp[heartbeat.mp_id] = stamp
+
+    # ------------------------------------------------------------------
+    # Liveness probe
+    # ------------------------------------------------------------------
+    def _queued_depth(self) -> int:
+        deployment = self.deployment
+        ob = getattr(deployment, "ordering_buffer", None)
+        if ob is not None:
+            return ob.queue_depth
+        master = getattr(deployment, "master_ob", None)
+        if master is not None:
+            depth = len(master._heap)
+            for shard in deployment.shards:
+                if shard.shard_id not in deployment._failed_shards:
+                    depth += shard._inner.queue_depth
+            return depth
+        return 0
+
+    def _released_count(self) -> int:
+        deployment = self.deployment
+        ob = getattr(deployment, "ordering_buffer", None)
+        if ob is not None:
+            return ob.trades_released
+        master = getattr(deployment, "master_ob", None)
+        if master is not None:
+            return master.trades_released
+        return 0
+
+    def _stall_probe(self) -> None:
+        now = self.deployment.engine.now
+        released = self._released_count()
+        if released > self._last_released_count or self._queued_depth() == 0:
+            # Progress (or nothing pending): reset the stall window.
+            self._last_released_count = released
+            self._stall_since = None
+            self._stall_reported = False
+            return
+        if self._stall_since is None:
+            self._stall_since = now
+            return
+        if not self._stall_reported and now - self._stall_since >= self.stall_timeout:
+            self._record(
+                "progress_stall",
+                now,
+                f"no release for {now - self._stall_since:.0f} µs with "
+                f"{self._queued_depth()} trades queued",
+            )
+            self._stall_reported = True
+
+    # ------------------------------------------------------------------
+    def report(self) -> AuditReport:
+        scheme = (
+            self.deployment.scheme_name if self.deployment is not None else "unattached"
+        )
+        return AuditReport(
+            scheme=scheme,
+            violations=list(self.violations),
+            releases_checked=self.releases_checked,
+            heartbeats_checked=self.heartbeats_checked,
+        )

@@ -1,0 +1,201 @@
+"""The fault injector: arms a declarative plan against a deployment.
+
+Every fault (and its recovery) is scheduled as an ordinary engine event
+at arm time, so a chaos run is exactly as deterministic as a clean run:
+same seed + same plan ⇒ identical event interleaving.
+
+Latency degradations are special: latency models live in the network
+specs and are read when links are built, so the injector wraps the
+affected models in :class:`~repro.net.latency.DegradedLatency` *before*
+the deployment builds (``arm`` must therefore be called before
+``run()``).  Everything else — links, release buffers, the OB — is
+resolved at fire time, because deployments build lazily inside ``run()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.faults.plan import FaultSchedule, FaultSpec
+from repro.net.latency import DegradedLatency
+from repro.net.link import Link
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultSchedule` onto a deployment's engine.
+
+    Usage::
+
+        injector = FaultInjector(schedule)
+        injector.arm(deployment)        # before deployment.run(...)
+        result = deployment.run(duration=...)
+        injector.log                    # what fired, when
+
+    ``arm`` validates that the deployment can express every fault in the
+    plan (e.g. ``rb_crash`` needs the DBO deployment's release buffers,
+    ``gateway_stall`` needs the egress gateway enabled) and raises
+    early — a plan that silently half-applies would poison comparisons.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.deployment = None
+        self.armed = False
+        # (target, direction) -> the wrapper installed on the spec.
+        self._degraded: Dict[Tuple[str, str], DegradedLatency] = {}
+        # Chronological record of every action taken, for reports.
+        self.log: List[Dict[str, Any]] = []
+        self.faults_fired = 0
+        self.faults_recovered = 0
+
+    # ------------------------------------------------------------------
+    def arm(self, deployment) -> None:
+        """Validate the plan against ``deployment`` and schedule it."""
+        if self.armed:
+            raise RuntimeError("injector already armed")
+        if getattr(deployment, "_built", False):
+            raise RuntimeError("arm the injector before the deployment builds (run())")
+        self.deployment = deployment
+        self._validate(deployment)
+        for fault in self.schedule:
+            if fault.kind == "latency_degradation":
+                self._wrap_latency_models(deployment, fault)
+        engine = deployment.engine
+        for fault in self.schedule:
+            engine.schedule_at(fault.at, self._fire, priority=1, args=(fault,))
+            if fault.ends_at is not None:
+                engine.schedule_at(
+                    fault.ends_at, self._recover, priority=1, args=(fault,)
+                )
+        self.armed = True
+
+    def _validate(self, deployment) -> None:
+        mp_ids = set(deployment.mp_ids)
+        for fault in self.schedule:
+            kind = fault.kind
+            if kind in {"link_burst_loss", "latency_degradation", "partition", "rb_crash"}:
+                if fault.target not in mp_ids:
+                    raise ValueError(
+                        f"{kind} targets unknown participant {fault.target!r}"
+                    )
+            if kind == "rb_crash" and not hasattr(deployment, "_rb_by_id"):
+                raise ValueError("rb_crash requires a DBO deployment")
+            if kind == "ob_failover":
+                if not hasattr(deployment, "failover_ob"):
+                    raise ValueError("ob_failover requires a DBO deployment")
+                if getattr(deployment, "n_ob_shards", 1) > 1:
+                    raise ValueError("ob_failover applies to the flat OB; use shard_failure")
+            if kind == "shard_failure":
+                if getattr(deployment, "n_ob_shards", 1) <= 1:
+                    raise ValueError("shard_failure requires n_ob_shards > 1")
+            if kind == "gateway_stall" and not getattr(
+                deployment, "enable_egress_gateway", False
+            ):
+                raise ValueError("gateway_stall requires enable_egress_gateway=True")
+
+    def _wrap_latency_models(self, deployment, fault: FaultSpec) -> None:
+        index = deployment.mp_ids.index(fault.target)
+        spec = deployment.specs[index]
+        directions = (
+            ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
+        )
+        for direction in directions:
+            cache_key = (fault.target, direction)
+            if cache_key in self._degraded:
+                continue
+            model = getattr(spec, direction)
+            wrapper = DegradedLatency(model)
+            setattr(spec, direction, wrapper)
+            self._degraded[cache_key] = wrapper
+
+    # ------------------------------------------------------------------
+    def _find_link(self, target: str, direction: str) -> Link:
+        prefix = "fwd" if direction == "forward" else "rev"
+        name = f"{prefix}-{target}"
+        for link in self.deployment._links:
+            if link.name == name:
+                return link
+        raise KeyError(f"no link named {name!r} in deployment")
+
+    def _links_for(self, fault: FaultSpec) -> List[Link]:
+        directions = (
+            ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
+        )
+        return [self._find_link(fault.target, direction) for direction in directions]
+
+    def _record(self, action: str, fault: FaultSpec) -> None:
+        self.log.append(
+            {
+                "time": self.deployment.engine.now,
+                "action": action,
+                "kind": fault.kind,
+                "target": fault.target,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _fire(self, fault: FaultSpec) -> None:
+        deployment = self.deployment
+        kind = fault.kind
+        if kind == "link_burst_loss":
+            for link in self._links_for(fault):
+                link.start_loss_burst(fault.magnitude, seed=fault.seed)
+        elif kind == "partition":
+            for link in self._links_for(fault):
+                link.set_blackhole(True)
+        elif kind == "latency_degradation":
+            directions = (
+                ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
+            )
+            for direction in directions:
+                self._degraded[(fault.target, direction)].set_degradation(
+                    extra=fault.magnitude, factor=fault.factor
+                )
+        elif kind == "rb_crash":
+            deployment._rb_by_id[fault.target].crash()
+        elif kind == "ob_failover":
+            deployment.failover_ob()
+        elif kind == "shard_failure":
+            deployment.fail_shard(fault.target)
+        elif kind == "gateway_stall":
+            deployment.egress_gateway.stall()
+        else:  # pragma: no cover - plan validation rejects unknown kinds
+            raise ValueError(f"unhandled fault kind {kind!r}")
+        self.faults_fired += 1
+        self._record("fire", fault)
+
+    def _recover(self, fault: FaultSpec) -> None:
+        deployment = self.deployment
+        kind = fault.kind
+        if kind == "link_burst_loss":
+            for link in self._links_for(fault):
+                link.stop_loss_burst()
+        elif kind == "partition":
+            for link in self._links_for(fault):
+                link.set_blackhole(False)
+        elif kind == "latency_degradation":
+            directions = (
+                ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
+            )
+            for direction in directions:
+                self._degraded[(fault.target, direction)].clear()
+        elif kind == "rb_crash":
+            deployment._rb_by_id[fault.target].restart()
+        elif kind == "gateway_stall":
+            deployment.egress_gateway.resume(deployment.engine.now)
+        else:  # pragma: no cover - permanent kinds schedule no recovery
+            raise ValueError(f"fault kind {kind!r} has no recovery action")
+        self.faults_recovered += 1
+        self._record("recover", fault)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic record of what the injector did."""
+        return {
+            "plan": self.schedule.name,
+            "faults_fired": self.faults_fired,
+            "faults_recovered": self.faults_recovered,
+            "log": list(self.log),
+        }

@@ -1,0 +1,209 @@
+"""Declarative fault plans.
+
+A :class:`FaultSpec` names one fault: its kind, trigger time, target,
+and (for transient faults) duration.  A :class:`FaultSchedule` is an
+ordered collection of specs, loadable from a JSON document so chaos
+scenarios can live next to experiment configs instead of in code.
+
+Supported kinds
+---------------
+``link_burst_loss``
+    The target participant's link drops each packet with probability
+    ``magnitude`` for ``duration`` µs (congestion collapse; no
+    out-of-band recovery, unlike the steady-state Appendix D losses).
+``latency_degradation``
+    The target's link latency becomes ``factor·base + magnitude`` for
+    ``duration`` µs (``None`` = rest of the run) — a slow zone or an
+    overloaded NIC.
+``partition``
+    The target's link blackholes every packet for ``duration`` µs.
+``rb_crash``
+    The target participant's release buffer fail-stops at ``at``; with a
+    ``duration`` it restarts afterwards and its delivery clock re-anchors
+    on the next fresh batch (§4.2.1's RB/MP failure scenario).
+``ob_failover``
+    The ordering buffer crashes, losing its queue, and a cold standby
+    that inherits the release log takes over (flat OB only).
+``shard_failure``
+    The named OB shard fail-stops; the master stops waiting on it and
+    surviving shards adopt its participants (§5.2 hierarchy).
+``gateway_stall``
+    The egress gateway stops draining for ``duration`` µs (process
+    hang): outbound data waits, nothing leaks early.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule"]
+
+FAULT_KINDS = frozenset(
+    {
+        "link_burst_loss",
+        "latency_degradation",
+        "partition",
+        "rb_crash",
+        "ob_failover",
+        "shard_failure",
+        "gateway_stall",
+    }
+)
+
+# Kinds that act on one participant's network leg (need target+direction).
+_LINK_KINDS = frozenset({"link_burst_loss", "latency_degradation", "partition"})
+# Kinds whose duration is mandatory (a permanent variant is meaningless
+# or would trivially stall the run).
+_DURATION_REQUIRED = frozenset({"link_burst_loss", "partition", "gateway_stall"})
+_DIRECTIONS = ("forward", "reverse", "both")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what, when, against whom, and for how long.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        Trigger time (µs since run start).
+    target:
+        Participant id for link/RB faults, shard id for
+        ``shard_failure``; unused for ``ob_failover``/``gateway_stall``.
+    duration:
+        How long the fault lasts; ``None`` means permanent (where the
+        kind allows it).
+    magnitude:
+        Loss probability (``link_burst_loss``) or additive extra latency
+        in µs (``latency_degradation``).
+    factor:
+        Multiplicative latency factor (``latency_degradation`` only).
+    direction:
+        Which leg a link fault hits: ``forward`` (market data),
+        ``reverse`` (trades/heartbeats), or ``both``.
+    seed:
+        Per-fault randomness salt (burst-loss draws).
+    """
+
+    kind: str
+    at: float
+    target: Optional[str] = None
+    duration: Optional[float] = None
+    magnitude: float = 0.0
+    factor: float = 1.0
+    direction: str = "forward"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {sorted(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError("fault trigger time must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("fault duration must be positive when given")
+        if self.kind in _DURATION_REQUIRED and self.duration is None:
+            raise ValueError(f"{self.kind} requires a duration")
+        if self.kind in {"ob_failover", "shard_failure"} and self.duration is not None:
+            raise ValueError(f"{self.kind} is instantaneous; it takes no duration")
+        if self.kind in _LINK_KINDS or self.kind in {"rb_crash", "shard_failure"}:
+            if not self.target:
+                raise ValueError(f"{self.kind} requires a target")
+        if self.kind in _LINK_KINDS and self.direction not in _DIRECTIONS:
+            raise ValueError(f"direction must be one of {_DIRECTIONS}")
+        if self.kind == "link_burst_loss" and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError("link_burst_loss needs magnitude in (0, 1]")
+        if self.kind == "latency_degradation":
+            if self.magnitude < 0:
+                raise ValueError("latency_degradation magnitude (extra µs) must be >= 0")
+            if self.factor <= 0:
+                raise ValueError("latency_degradation factor must be positive")
+            if self.magnitude == 0 and self.factor == 1.0:
+                raise ValueError("latency_degradation must change something")
+
+    @property
+    def ends_at(self) -> Optional[float]:
+        """Recovery time, or ``None`` for permanent faults."""
+        if self.duration is None:
+            return None
+        return self.at + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.duration is not None:
+            out["duration"] = self.duration
+        if self.magnitude:
+            out["magnitude"] = self.magnitude
+        if self.factor != 1.0:
+            out["factor"] = self.factor
+        if self.direction != "forward":
+            out["direction"] = self.direction
+        if self.seed:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        allowed = {"kind", "at", "target", "duration", "magnitude", "factor", "direction", "seed"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown fault fields: {sorted(unknown)}")
+        if "kind" not in data or "at" not in data:
+            raise ValueError("a fault needs at least 'kind' and 'at'")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered fault plan (sorted by trigger time, stable on input order)."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    name: str = "chaos"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(enumerate(self.faults), key=lambda pair: (pair[1].at, pair[0]))
+        )
+        object.__setattr__(self, "faults", tuple(spec for _, spec in ordered))
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def kinds(self) -> List[str]:
+        return [fault.kind for fault in self.faults]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "faults": [fault.to_dict() for fault in self.faults]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ValueError("a fault plan is a dict with a 'faults' list")
+        faults = tuple(FaultSpec.from_dict(entry) for entry in data["faults"])
+        return cls(faults=faults, name=data.get("name", "chaos"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def of(cls, *faults: FaultSpec, name: str = "chaos") -> "FaultSchedule":
+        return cls(faults=tuple(faults), name=name)

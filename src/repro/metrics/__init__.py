@@ -15,6 +15,7 @@ from repro.metrics.latency import (
     max_rtt_stats,
     trade_latencies,
 )
+from repro.metrics.degradation import DegradationReport, fairness_degradation
 from repro.metrics.records import RunResult, TradeRecord
 from repro.metrics.ascii_plot import ascii_plot
 from repro.metrics.report import cdf_points, render_cdf, render_series, render_table
@@ -37,6 +38,8 @@ __all__ = [
     "max_rtt_bound_per_trade",
     "max_rtt_stats",
     "trade_latencies",
+    "DegradationReport",
+    "fairness_degradation",
     "RunResult",
     "TradeRecord",
     "cdf_points",

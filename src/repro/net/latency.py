@@ -41,6 +41,7 @@ __all__ = [
     "ScaledLatency",
     "CompositeLatency",
     "StepLatency",
+    "DegradedLatency",
 ]
 
 
@@ -353,6 +354,68 @@ class CompositeLatency(LatencyModel):
 
     def mean_estimate(self) -> float:
         return sum(component.mean_estimate() for component in self.components)
+
+
+class DegradedLatency(LatencyModel):
+    """A mutable wrapper for mid-run latency degradation (fault injection).
+
+    Unlike every other model — pure functions of ``(seed, t)`` — this one
+    carries *mutable* degradation state so a fault injector can worsen a
+    path while the simulation runs and heal it later.  While degraded, the
+    wrapped latency is multiplied by ``factor`` and offset by ``extra``
+    microseconds; healed (the default), it is a transparent pass-through,
+    so a wrapped clean run is bit-identical to an unwrapped one.
+
+    Determinism is preserved as long as the mutations themselves are
+    driven by deterministic events (the injector schedules them on the
+    event engine).
+
+    Examples
+    --------
+    >>> model = DegradedLatency(ConstantLatency(10.0))
+    >>> model.latency_at(0.0)
+    10.0
+    >>> model.set_degradation(extra=90.0, factor=2.0)
+    >>> model.latency_at(0.0)
+    110.0
+    >>> model.clear()
+    >>> model.latency_at(0.0)
+    10.0
+    """
+
+    def __init__(self, inner: LatencyModel) -> None:
+        self.inner = inner
+        self.extra = 0.0
+        self.factor = 1.0
+        self.degradations_applied = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.extra != 0.0 or self.factor != 1.0
+
+    def set_degradation(self, extra: float = 0.0, factor: float = 1.0) -> None:
+        """Worsen the path: ``latency ← factor · latency + extra``."""
+        if extra < 0:
+            raise ValueError("extra must be non-negative")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.extra = float(extra)
+        self.factor = float(factor)
+        self.degradations_applied += 1
+
+    def clear(self) -> None:
+        """Heal the path back to the wrapped model."""
+        self.extra = 0.0
+        self.factor = 1.0
+
+    def latency_at(self, t: float) -> float:
+        base = self.inner.latency_at(t)
+        if self.extra == 0.0 and self.factor == 1.0:
+            return base
+        return self.factor * base + self.extra
+
+    def mean_estimate(self) -> float:
+        return self.factor * self.inner.mean_estimate() + self.extra
 
 
 class StepLatency(LatencyModel):

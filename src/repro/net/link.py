@@ -80,6 +80,15 @@ class Link:
         self._last_arrival = float("-inf")
         self._sent = 0
         self._delivered = 0
+        # Fault-injection state: a blackholed link silently drops every
+        # packet (network partition); a loss burst drops each packet with
+        # a deterministic per-index probability (congestion collapse).
+        # Unlike LossyLink drops, these are *not* recovered out-of-band.
+        self.blackhole = False
+        self._burst_loss_probability = 0.0
+        self._burst_seed = 0
+        self._blackholed = 0
+        self._burst_dropped = 0
 
     # ------------------------------------------------------------------
     def connect(self, handler: DeliveryHandler) -> None:
@@ -93,6 +102,48 @@ class Link:
     @property
     def packets_delivered(self) -> int:
         return self._delivered
+
+    @property
+    def packets_blackholed(self) -> int:
+        return self._blackholed
+
+    @property
+    def packets_dropped_in_burst(self) -> int:
+        return self._burst_dropped
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_blackhole(self, active: bool) -> None:
+        """Partition this link: while active, every packet vanishes."""
+        self.blackhole = bool(active)
+
+    def start_loss_burst(self, loss_probability: float, seed: int = 0) -> None:
+        """Begin a loss burst: drop each packet with this probability.
+
+        Decisions are a deterministic function of ``(seed, packet index)``
+        so chaos runs are reproducible.  Dropped packets are gone for good
+        — there is no out-of-band recovery on the burst path.
+        """
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        self._burst_loss_probability = float(loss_probability)
+        self._burst_seed = int(seed)
+
+    def stop_loss_burst(self) -> None:
+        self._burst_loss_probability = 0.0
+
+    def _fault_dropped(self, send_time: float) -> bool:
+        """Whether injected faults consume the packet being sent now."""
+        if self.blackhole:
+            self._blackholed += 1
+            return True
+        if self._burst_loss_probability and stable_bool(
+            self._burst_loss_probability, self._burst_seed, self._sent + self._blackholed + self._burst_dropped
+        ):
+            self._burst_dropped += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def arrival_time_for(self, send_time: float) -> float:
@@ -113,6 +164,10 @@ class Link:
         if self.handler is None:
             raise RuntimeError(f"link {self.name!r} has no receive handler")
         t_send = self.engine.now if send_time is None else send_time
+        if self._fault_dropped(t_send):
+            # The packet vanished in a partition/burst; report the arrival
+            # it would have seen so callers keep a uniform signature.
+            return t_send + self.latency_model.latency_at(t_send)
         raw = self.latency_model.latency_at(t_send)
         arrival = t_send + raw
         clamped = arrival < self._last_arrival
@@ -191,12 +246,18 @@ class LossyLink(Link):
         if self.loss_probability and stable_bool(self.loss_probability, self.seed, index):
             # Out-of-band recovery: the message arrives late via the slow
             # path; FIFO state is not advanced for it (it is out-of-band).
-            self._losses += 1
-            raw = self.latency_model.latency_at(t_send)
-            recovered = t_send + raw + self.recovery_delay
+            # The recovery target is validated *before* loss statistics
+            # are mutated so a wiring error leaves the counters clean.
             target = self.loss_handler or self.handler
             if target is None:
                 raise RuntimeError(f"link {self.name!r} has no receive handler")
+            if self._fault_dropped(t_send):
+                # An injected partition/burst swallows even the recovery
+                # request: the packet is gone for good.
+                return t_send + self.latency_model.latency_at(t_send)
+            self._losses += 1
+            raw = self.latency_model.latency_at(t_send)
+            recovered = t_send + raw + self.recovery_delay
             if self.record:
                 self.records.append(
                     DeliveryRecord(

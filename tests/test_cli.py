@@ -218,3 +218,59 @@ class TestJsonOutput:
         doc = json.loads(capsys.readouterr().out)
         assert doc["engine"] == "wheel"
         assert doc["summary"]["latency"]["count"] > 0
+
+
+class TestChaos:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.plan == "link-flaky"
+        assert args.scheme == "dbo"
+        assert args.faults is None
+
+    def test_chaos_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--plan", "tsunami"])
+
+    def test_chaos_smoke_plan_passes_fail_on_violation(self, capsys):
+        code = main(
+            ["chaos", "--plan", "link-flaky", "--participants", "3",
+             "--duration", "6000", "--seed", "4", "--fail-on-violation"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fire" in out and "recover" in out
+        assert "clean twin" in out and "degradation" in out
+
+    def test_chaos_json_document(self, capsys):
+        code = main(
+            ["chaos", "--plan", "ob-failover", "--participants", "3",
+             "--duration", "6000", "--seed", "4", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        chaos = doc["chaos"]
+        assert chaos["safe"] is True
+        assert chaos["plan"]["name"] == "ob-failover"
+        assert chaos["degradation"]["fault_counters"]["ob_failovers"] == 1.0
+        assert len(chaos["clean_digest"]) == 64
+
+    def test_chaos_from_plan_file(self, tmp_path, capsys):
+        from repro.faults.plan import FaultSchedule, FaultSpec
+
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=1_500.0, duration=800.0, target="mp0"),
+            name="file-plan",
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        code = main(
+            ["chaos", "--faults", str(path), "--participants", "3",
+             "--duration", "6000", "--seed", "4", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["chaos"]["plan"]["name"] == "file-plan"
+
+    def test_congested_scenario_available(self):
+        args = build_parser().parse_args(["run", "--scenario", "congested"])
+        assert args.scenario == "congested"

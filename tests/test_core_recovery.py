@@ -1,0 +1,251 @@
+"""Unit tests for the crash-recovery protocols.
+
+Covers the pieces the fault injector drives: RB restart, the RB→OB
+ack/retransmission path, OB standby failover, shard failure with master
+rerouting, the egress gateway's stall/resume, and the OB-side dedup and
+carry-over helpers the recovery paths depend on.
+"""
+
+import pytest
+
+from repro.core.delivery_clock import DeliveryClockStamp
+from repro.core.gateway import EgressGateway
+from repro.core.ordering_buffer import OrderingBuffer
+from repro.core.release_buffer import ReleaseBuffer, RetransmitPolicy
+from repro.exchange.messages import (
+    Heartbeat,
+    MarketDataBatch,
+    MarketDataPoint,
+    Side,
+    TaggedTrade,
+    TradeOrder,
+)
+from repro.sim.engine import EventEngine
+
+
+def batch(batch_id, point_id, close_time=0.0):
+    return MarketDataBatch(
+        batch_id=batch_id,
+        points=(MarketDataPoint(point_id=point_id, generation_time=close_time),),
+        close_time=close_time,
+    )
+
+
+def tagged(mp, seq, point, elapsed):
+    order = TradeOrder(mp_id=mp, trade_seq=seq, side=Side.BUY, price=1.0)
+    return TaggedTrade(trade=order, clock=DeliveryClockStamp(point, elapsed))
+
+
+def make_rb(policy=None):
+    engine = EventEngine()
+    rb = ReleaseBuffer(
+        engine, "mp0", pacing_gap=20.0, heartbeat_period=20.0, retransmit_policy=policy
+    )
+    deliveries, trades, heartbeats = [], [], []
+    rb.connect_mp(lambda points, t: deliveries.append(t))
+    rb.connect_ob(trades.append, heartbeats.append)
+    return engine, rb, deliveries, trades, heartbeats
+
+
+class TestRetransmitPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetransmitPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(ack_latency=-1.0)
+
+    def test_ack_stops_retransmission(self):
+        engine, rb, _, trades, _ = make_rb(RetransmitPolicy(timeout=100.0))
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, lambda: rb.on_mp_trade(TradeOrder("mp0", 0)))
+        engine.schedule_at(50.0, lambda: rb.on_ack(("mp0", 0)))
+        engine.run()
+        assert len(trades) == 1  # original send only
+        assert rb.acks_received == 1
+        assert rb.trades_retransmitted == 0
+
+    def test_unacked_trade_resent_with_backoff(self):
+        engine, rb, _, trades, _ = make_rb(
+            RetransmitPolicy(timeout=100.0, backoff=2.0, max_retries=2)
+        )
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, lambda: rb.on_mp_trade(TradeOrder("mp0", 0)))
+        engine.run()
+        # Sent at 20, retransmitted at 120 and 320, abandoned at 720.
+        assert len(trades) == 3
+        assert rb.trades_retransmitted == 2
+        assert rb.retransmits_abandoned == 1
+        # The retransmission carries the ORIGINAL stamp.
+        assert trades[0].clock == trades[1].clock == trades[2].clock
+
+    def test_duplicate_ack_counted_once(self):
+        engine, rb, _, _, _ = make_rb(RetransmitPolicy(timeout=100.0))
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, lambda: rb.on_mp_trade(TradeOrder("mp0", 0)))
+        engine.schedule_at(30.0, lambda: rb.on_ack(("mp0", 0)))
+        engine.schedule_at(31.0, lambda: rb.on_ack(("mp0", 0)))
+        engine.run()
+        assert rb.acks_received == 1
+
+    def test_crash_clears_unacked(self):
+        engine, rb, _, trades, _ = make_rb(RetransmitPolicy(timeout=100.0))
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 0), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, lambda: rb.on_mp_trade(TradeOrder("mp0", 0)))
+        engine.schedule_at(50.0, rb.crash)
+        engine.run()
+        assert len(trades) == 1  # no post-crash retransmission
+        assert rb.trades_retransmitted == 0
+
+
+class TestRBRestart:
+    def test_restart_requires_crash(self):
+        _, rb, _, _, _ = make_rb()
+        with pytest.raises(RuntimeError, match="not crashed"):
+            rb.restart()
+
+    def test_restart_resumes_delivery_and_reanchors_clock(self):
+        engine, rb, deliveries, _, _ = make_rb()
+        engine.schedule_at(10.0, lambda: rb.on_batch(batch(0, 3), 0.0, 10.0), priority=0)
+        engine.schedule_at(20.0, rb.crash)
+        # Dropped during the outage.
+        engine.schedule_at(30.0, lambda: rb.on_batch(batch(1, 7), 20.0, 30.0), priority=0)
+        engine.schedule_at(40.0, lambda: rb.restart())
+        engine.schedule_at(60.0, lambda: rb.on_batch(batch(2, 11), 50.0, 60.0), priority=0)
+        engine.run()
+        assert deliveries == [10.0, 60.0]
+        assert rb.restarts == 1
+        assert rb.batches_dropped_crashed == 1
+        # Clock re-anchored on the fresh batch, skipping the lost one.
+        assert rb.clock.last_point_id == 11
+
+    def test_restart_resumes_heartbeats(self):
+        engine, rb, _, _, heartbeats = make_rb()
+        rb.start_heartbeats(start_time=0.0)
+        engine.schedule_at(45.0, rb.crash)
+        engine.schedule_at(105.0, lambda: rb.restart())
+        engine.run(until=200.0)
+        times = [hb.generated_at for hb in heartbeats]
+        assert all(t <= 45.0 or t >= 105.0 for t in times)
+        assert any(t >= 105.0 for t in times)
+
+
+class TestOBRecoveryHelpers:
+    def make_ob(self, participants=("a", "b")):
+        released = []
+        ob = OrderingBuffer(
+            participants=list(participants),
+            sink=lambda t, now: released.append(t.trade.key),
+        )
+        return ob, released
+
+    def test_duplicate_tagged_trade_ignored(self):
+        ob, released = self.make_ob()
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 11.0)  # retransmit
+        assert ob.queue_depth == 1
+        assert ob.retransmits_ignored == 1
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 6.0)), 0.0, 12.0)
+        assert released == [("a", 0)]
+
+    def test_retransmit_of_released_trade_ignored(self):
+        ob, released = self.make_ob()
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 6.0)), 0.0, 11.0)
+        assert released == [("a", 0)]
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 12.0)  # late retransmit
+        assert released == [("a", 0)]
+        assert ob.retransmits_ignored == 1
+
+    def test_duplicate_still_advances_watermark(self):
+        # A standby OB that adopted the release log sees the predecessor's
+        # released trades again via retransmission; the duplicates must
+        # still count as progress proofs for their senders.
+        ob, released = self.make_ob()
+        ob.adopt_release_log({("b", 0)})
+        ob.on_tagged_trade(tagged("a", 1, 0, 4.0), 0.0, 12.0)
+        assert released == []
+        # b's retransmit of its already-released trade: not re-released,
+        # but its stamp (> a's) unblocks a's queued trade.
+        ob.on_tagged_trade(tagged("b", 0, 0, 5.0), 0.0, 13.0)
+        assert released == [("a", 1)]
+        assert ob.retransmits_ignored == 1
+
+    def test_standby_adopts_release_log_and_counters(self):
+        ob, released = self.make_ob()
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 6.0)), 0.0, 11.0)
+        ob.on_tagged_trade(tagged("a", 1, 0, 7.0), 0.0, 12.0)  # still queued
+        lost = ob.crash()
+        assert lost == 1
+
+        standby, standby_released = self.make_ob()
+        standby.adopt_release_log(ob.released_keys)
+        standby.carry_over_counters(ob)
+        assert standby.trades_received == 2
+        assert standby.trades_lost_to_crash == 1
+        # The RB retransmits both; only the unreleased one goes through.
+        standby.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 20.0)
+        standby.on_tagged_trade(tagged("a", 1, 0, 7.0), 0.0, 21.0)
+        standby.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 8.0)), 0.0, 22.0)
+        assert standby_released == [("a", 1)]
+        assert standby.retransmits_ignored == 1
+
+    def test_add_participant_idempotent(self):
+        ob, _ = self.make_ob(("a", "b"))
+        ob.add_participant("c")
+        ob.add_participant("c")
+        assert set(ob.states) == {"a", "b", "c"}
+
+
+class TestFlushDuplicateGuard:
+    def test_flush_skips_already_released_keys(self):
+        # flush() at drain time must not double-release a trade that the
+        # normal rule already let through.
+        released = []
+        ob = OrderingBuffer(
+            participants=["a", "b"],
+            sink=lambda t, now: released.append(t.trade.key),
+        )
+        ob.on_tagged_trade(tagged("a", 0, 0, 5.0), 0.0, 10.0)
+        ob.on_heartbeat(Heartbeat("b", DeliveryClockStamp(0, 6.0)), 0.0, 11.0)
+        ob.on_tagged_trade(tagged("a", 1, 0, 9.0), 0.0, 12.0)
+        assert released == [("a", 0)]
+        flushed = ob.flush(now=100.0)
+        assert flushed == 1
+        assert released == [("a", 0), ("a", 1)]
+        # A second flush is a no-op.
+        assert ob.flush(now=101.0) == 0
+        assert released == [("a", 0), ("a", 1)]
+
+
+class TestGatewayStall:
+    def make(self):
+        gw = EgressGateway(["a", "b"])
+        out = []
+        gw.set_sink(lambda message, t: out.append((message.sender, message.payload, t)))
+        return gw, out
+
+    def test_stall_holds_resume_drains(self):
+        gw, out = self.make()
+        stamp = DeliveryClockStamp(0, 1.0)
+        later = DeliveryClockStamp(0, 5.0)
+        gw.stall()
+        gw.on_egress("a", "x", stamp, 10.0)
+        gw.on_clock_report("a", later, 11.0)
+        gw.on_clock_report("b", later, 12.0)
+        assert out == []  # fail-closed: nothing leaks while stalled
+        gw.resume(50.0)
+        assert [(mp, p) for mp, p, _ in out] == [("a", "x")]
+        assert out[0][2] == 50.0
+        assert gw.stalls == 1
+        assert gw.max_hold == 40.0
+
+    def test_stall_idempotent(self):
+        gw, _ = self.make()
+        gw.stall()
+        gw.stall()
+        assert gw.stalls == 1

@@ -1,0 +1,164 @@
+"""Tests for the fault injector: validation, firing, and determinism."""
+
+import pytest
+
+from repro.baselines.base import NetworkSpec
+from repro.baselines.direct import DirectDeployment
+from repro.core.params import DBOParams
+from repro.core.system import DBODeployment
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultSchedule, FaultSpec
+from repro.metrics.serialization import trade_ordering_digest
+from repro.net.latency import ConstantLatency, DegradedLatency
+
+
+def specs(n=3):
+    return [
+        NetworkSpec(forward=ConstantLatency(10.0 + i), reverse=ConstantLatency(10.0 + i))
+        for i in range(n)
+    ]
+
+
+def dbo(seed=3, **kwargs):
+    return DBODeployment(specs(), params=DBOParams(delta=20.0), seed=seed, **kwargs)
+
+
+class TestArmValidation:
+    def test_unknown_target_rejected(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="rb_crash", at=10.0, target="mp99")
+        )
+        with pytest.raises(ValueError, match="unknown participant"):
+            FaultInjector(plan).arm(dbo())
+
+    def test_rb_crash_needs_dbo(self):
+        plan = FaultSchedule.of(FaultSpec(kind="rb_crash", at=10.0, target="mp0"))
+        with pytest.raises(ValueError, match="DBO"):
+            FaultInjector(plan).arm(DirectDeployment(specs(), seed=3))
+
+    def test_ob_failover_rejected_on_sharded_topology(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        with pytest.raises(ValueError, match="shard_failure"):
+            FaultInjector(plan).arm(dbo(n_ob_shards=2))
+
+    def test_shard_failure_needs_shards(self):
+        plan = FaultSchedule.of(FaultSpec(kind="shard_failure", at=10.0, target="shard-0"))
+        with pytest.raises(ValueError, match="n_ob_shards"):
+            FaultInjector(plan).arm(dbo())
+
+    def test_gateway_stall_needs_gateway(self):
+        plan = FaultSchedule.of(FaultSpec(kind="gateway_stall", at=10.0, duration=5.0))
+        with pytest.raises(ValueError, match="egress_gateway"):
+            FaultInjector(plan).arm(dbo())
+
+    def test_cannot_arm_twice(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        injector = FaultInjector(plan)
+        injector.arm(dbo())
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm(dbo())
+
+    def test_cannot_arm_after_build(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        deployment = dbo()
+        deployment.run(duration=500.0)
+        with pytest.raises(RuntimeError, match="before the deployment builds"):
+            FaultInjector(plan).arm(deployment)
+
+
+class TestFiring:
+    def test_burst_loss_fires_and_recovers_on_named_link(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="link_burst_loss", at=1_000.0, duration=2_000.0,
+                      target="mp0", magnitude=0.9, seed=5)
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        result = deployment.run(duration=6_000.0)
+        assert injector.faults_fired == 1
+        assert injector.faults_recovered == 1
+        assert [entry["action"] for entry in injector.log] == ["fire", "recover"]
+        assert result.counters["packets_dropped_in_burst"] > 0
+
+    def test_partition_blackholes_only_the_target(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=1_000.0, duration=1_000.0,
+                      target="mp1", direction="forward")
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        deployment.run(duration=4_000.0)
+        fwd = {link.name: link for link in deployment._links}
+        assert fwd["fwd-mp1"].packets_blackholed > 0
+        assert fwd["fwd-mp0"].packets_blackholed == 0
+        # Recovered: blackhole switched back off.
+        assert not fwd["fwd-mp1"].blackhole
+
+    def test_latency_degradation_wraps_spec_before_build(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="latency_degradation", at=1_000.0, duration=1_000.0,
+                      target="mp0", magnitude=500.0, direction="both")
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        assert isinstance(deployment.specs[0].forward, DegradedLatency)
+        assert isinstance(deployment.specs[0].reverse, DegradedLatency)
+        assert isinstance(deployment.specs[1].forward, ConstantLatency)
+        deployment.run(duration=4_000.0)
+        # Cleared after recovery.
+        assert not deployment.specs[0].forward.degraded
+
+    def test_rb_crash_and_restart(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="rb_crash", at=1_000.0, duration=1_000.0, target="mp2")
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        result = deployment.run(duration=5_000.0)
+        assert result.counters["rb_restarts"] == 1
+        assert result.counters["batches_dropped_crashed"] > 0
+        rb = deployment._rb_by_id["mp2"]
+        assert not rb.crashed
+
+    def test_summary_is_deterministic_record(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=500.0, duration=250.0, target="mp0"),
+            name="p",
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        deployment.run(duration=2_000.0)
+        summary = injector.summary()
+        assert summary["plan"] == "p"
+        assert summary["faults_fired"] == 1
+        assert summary["log"][0]["time"] == 500.0
+        assert summary["log"][1]["time"] == 750.0
+
+
+class TestDeterminism:
+    PLAN = FaultSchedule.of(
+        FaultSpec(kind="link_burst_loss", at=800.0, duration=1_200.0,
+                  target="mp0", magnitude=0.4, seed=2),
+        FaultSpec(kind="latency_degradation", at=1_500.0, duration=1_000.0,
+                  target="mp1", magnitude=120.0),
+        FaultSpec(kind="rb_crash", at=2_000.0, duration=800.0, target="mp2"),
+    )
+
+    def run_once(self):
+        deployment = dbo(seed=11)
+        injector = FaultInjector(self.PLAN)
+        injector.arm(deployment)
+        result = deployment.run(duration=6_000.0)
+        return trade_ordering_digest(result), injector.summary(), dict(result.counters)
+
+    def test_same_seed_same_plan_same_outcome(self):
+        digest_a, summary_a, counters_a = self.run_once()
+        digest_b, summary_b, counters_b = self.run_once()
+        assert digest_a == digest_b
+        assert summary_a == summary_b
+        assert counters_a == counters_b

@@ -1,0 +1,129 @@
+"""Unit tests for the declarative fault plan (FaultSpec / FaultSchedule)."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultSchedule, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_minimal_valid_specs(self):
+        FaultSpec(kind="link_burst_loss", at=10.0, duration=5.0, target="mp0",
+                  magnitude=0.5)
+        FaultSpec(kind="latency_degradation", at=0.0, duration=5.0, target="mp1",
+                  magnitude=100.0)
+        FaultSpec(kind="partition", at=1.0, duration=2.0, target="mp0")
+        FaultSpec(kind="rb_crash", at=1.0, target="mp0")
+        FaultSpec(kind="ob_failover", at=1.0)
+        FaultSpec(kind="shard_failure", at=1.0, target="shard-0")
+        FaultSpec(kind="gateway_stall", at=1.0, duration=3.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike", at=0.0)
+
+    def test_negative_trigger_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="ob_failover", at=-1.0)
+
+    def test_duration_required_for_window_kinds(self):
+        for kind in ("link_burst_loss", "partition", "gateway_stall"):
+            with pytest.raises(ValueError, match="duration"):
+                FaultSpec(kind=kind, at=0.0, target="mp0", magnitude=0.5)
+
+    def test_instantaneous_kinds_reject_duration(self):
+        with pytest.raises(ValueError, match="no duration"):
+            FaultSpec(kind="ob_failover", at=0.0, duration=5.0)
+        with pytest.raises(ValueError, match="no duration"):
+            FaultSpec(kind="shard_failure", at=0.0, duration=5.0, target="shard-0")
+
+    def test_target_required_for_link_kinds(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind="partition", at=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind="rb_crash", at=0.0)
+
+    def test_burst_magnitude_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="link_burst_loss", at=0.0, duration=1.0, target="mp0",
+                      magnitude=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="link_burst_loss", at=0.0, duration=1.0, target="mp0",
+                      magnitude=1.5)
+
+    def test_latency_degradation_must_change_something(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="latency_degradation", at=0.0, duration=1.0,
+                      target="mp0", magnitude=0.0, factor=1.0)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            FaultSpec(kind="partition", at=0.0, duration=1.0, target="mp0",
+                      direction="sideways")
+
+    def test_ends_at(self):
+        spec = FaultSpec(kind="partition", at=10.0, duration=5.0, target="mp0")
+        assert spec.ends_at == 15.0
+        assert FaultSpec(kind="ob_failover", at=10.0).ends_at is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_specs(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="rb_crash", at=20.0, duration=10.0, target="mp1"),
+            FaultSpec(kind="link_burst_loss", at=5.0, duration=3.0, target="mp0",
+                      magnitude=0.25, direction="both", seed=9),
+            name="round-trip",
+        )
+        clone = FaultSchedule.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.name == "round-trip"
+        # of() sorts by trigger time.
+        assert [f.at for f in clone] == [5.0, 20.0]
+
+    def test_to_dict_is_sparse(self):
+        doc = FaultSpec(kind="ob_failover", at=3.0).to_dict()
+        assert doc == {"kind": "ob_failover", "at": 3.0}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultSpec.from_dict({"kind": "ob_failover", "at": 1.0, "blast_radius": 3})
+
+    def test_load_from_file(self, tmp_path):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=4.0, duration=2.0, target="mp2"),
+            name="disk",
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultSchedule.load(str(path)) == plan
+
+    def test_json_is_actual_json(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=1.0))
+        doc = json.loads(plan.to_json())
+        assert doc["faults"][0]["kind"] == "ob_failover"
+
+
+class TestSchedule:
+    def test_sorted_by_trigger_time(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="ob_failover", at=30.0),
+            FaultSpec(kind="rb_crash", at=10.0, target="mp0"),
+            FaultSpec(kind="rb_crash", at=20.0, duration=5.0, target="mp1"),
+        )
+        assert [f.at for f in plan] == [10.0, 20.0, 30.0]
+        assert len(plan) == 3
+
+    def test_kinds(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="rb_crash", at=10.0, target="mp0"),
+            FaultSpec(kind="ob_failover", at=30.0),
+        )
+        assert set(plan.kinds) == {"rb_crash", "ob_failover"}
+
+    def test_all_kinds_registered(self):
+        assert FAULT_KINDS == {
+            "link_burst_loss", "latency_degradation", "partition",
+            "rb_crash", "ob_failover", "shard_failure", "gateway_stall",
+        }
