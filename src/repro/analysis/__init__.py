@@ -5,6 +5,7 @@ from repro.analysis.stats import (
     SampleSummary,
     aggregate_fairness,
     aggregate_latency,
+    pooled_fairness,
     run_across_seeds,
     summarize_samples,
     wilson_interval,
@@ -16,6 +17,7 @@ __all__ = [
     "SampleSummary",
     "aggregate_fairness",
     "aggregate_latency",
+    "pooled_fairness",
     "run_across_seeds",
     "summarize_samples",
     "wilson_interval",

@@ -27,6 +27,7 @@ from repro.metrics.records import RunResult
 
 __all__ = [
     "wilson_interval",
+    "pooled_fairness",
     "summarize_samples",
     "SampleSummary",
     "MultiSeedResult",
@@ -65,7 +66,49 @@ def wilson_interval(
     denom = 1.0 + z * z / trials
     center = (p + z * z / (2 * trials)) / denom
     half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
-    return (max(0.0, center - half), min(1.0, center + half))
+    low = max(0.0, center - half)
+    high = min(1.0, center + half)
+    # Float rounding can leave center - half a few ulps above zero when
+    # successes == 0 (or below one at successes == trials); the score
+    # interval's exact endpoints there are 0 and 1, so pin them.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (min(low, p), max(high, p))
+
+
+def pooled_fairness(
+    pair_counts: Sequence[Tuple[int, int]],
+    confidence: float = 0.95,
+) -> Dict[str, object]:
+    """Pool per-seed ``(correct_pairs, total_pairs)`` counts into one CI.
+
+    Runs across seeds are independent by construction (disjoint seed
+    substreams), so their pairwise-ordering trials pool into a single
+    binomial: the headline ratio with a Wilson interval, plus the
+    per-seed ratios for spread.  With zero trials everywhere the ratio
+    degenerates to 1.0 (no pair was misordered) and the interval to the
+    uninformative ``(0, 1)`` — the same convention as
+    :func:`aggregate_fairness`.
+    """
+    successes = 0
+    trials = 0
+    per_seed: List[float] = []
+    for correct, total in pair_counts:
+        if not 0 <= correct <= total:
+            raise ValueError("need 0 <= correct_pairs <= total_pairs per seed")
+        successes += correct
+        trials += total
+        per_seed.append(correct / total if total else 1.0)
+    low, high = wilson_interval(successes, trials, confidence)
+    return {
+        "ratio": successes / trials if trials else 1.0,
+        "ci": (low, high),
+        "successes": successes,
+        "pairs": trials,
+        "per_seed": per_seed,
+    }
 
 
 @dataclass(frozen=True)
@@ -126,15 +169,14 @@ def aggregate_fairness(
     for the headline interval, and also reports the per-seed ratios.
     """
     per_seed = [evaluate_fairness(result) for result in multi.results]
-    successes = sum(r.correct_pairs for r in per_seed)
-    trials = sum(r.total_pairs for r in per_seed)
-    low, high = wilson_interval(successes, trials, confidence)
-    ratios = [r.ratio for r in per_seed]
+    pooled = pooled_fairness(
+        [(r.correct_pairs, r.total_pairs) for r in per_seed], confidence
+    )
     return {
-        "ratio": successes / trials if trials else 1.0,
-        "ci": (low, high),
-        "pairs": trials,
-        "per_seed": dict(zip(multi.seeds, ratios)),
+        "ratio": pooled["ratio"],
+        "ci": pooled["ci"],
+        "pairs": pooled["pairs"],
+        "per_seed": dict(zip(multi.seeds, [r.ratio for r in per_seed])),
     }
 
 

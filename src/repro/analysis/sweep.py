@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.experiments.runner import SchemeSummary, run_scheme, summarize
 from repro.metrics.records import RunResult
 from repro.metrics.report import render_table
+from repro.parallel.pool import parallel_map
 
 __all__ = ["SweepRow", "sweep", "sweep_table"]
 
@@ -38,12 +39,44 @@ class SweepRow:
     summary: SchemeSummary
 
 
+@dataclass
+class _SweepPoint:
+    """One grid point as a picklable work item for the parallel backend."""
+
+    scheme: str
+    specs_factory: Callable[[], list]
+    duration: float
+    config: Dict[str, Any]
+    fixed_kwargs: Dict[str, Any]
+    with_bound: bool
+    strip_accessor: bool = False
+
+
+def _run_point(point: _SweepPoint) -> SweepRow:
+    result = run_scheme(
+        point.scheme,
+        point.specs_factory(),
+        duration=point.duration,
+        **point.config,
+        **point.fixed_kwargs,
+    )
+    summary = summarize(result, with_bound=point.with_bound)
+    if point.strip_accessor:
+        # The Max-RTT accessor is a closure over live deployment state;
+        # it cannot cross the process boundary.  The summary materializes
+        # the bound first, so only the raw accessor is lost.
+        result.reverse_latency_at = None
+    return SweepRow(config=point.config, result=result, summary=summary)
+
+
 def sweep(
     scheme: str,
     specs_factory: Callable[[], list],
     duration: float,
     grid: Dict[str, Sequence[Any]],
     with_bound: bool = False,
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
     **fixed_kwargs,
 ) -> List[SweepRow]:
     """Run ``scheme`` for every combination in ``grid``.
@@ -51,28 +84,40 @@ def sweep(
     ``grid`` maps deployment-kwarg names to candidate values; the
     Cartesian product is executed with fresh specs per point (so runs
     never share mutable state).
+
+    With ``jobs > 1`` the points fan out across worker processes (rows
+    still come back in grid order, with identical metrics — pinned by
+    the test suite).  ``specs_factory``, the grid values, and the fixed
+    kwargs must then be picklable: module-level functions and
+    ``functools.partial`` qualify, lambdas do not; and the returned
+    rows' ``result.reverse_latency_at`` is ``None`` (the Max-RTT bound
+    is materialized into the summary before the accessor is dropped).
     """
     if not grid:
         raise ValueError("grid must name at least one parameter")
     names = list(grid)
-    rows: List[SweepRow] = []
-    for values in itertools.product(*(grid[name] for name in names)):
-        config = dict(zip(names, values))
-        result = run_scheme(
-            scheme,
-            specs_factory(),
+    points = [
+        _SweepPoint(
+            scheme=scheme,
+            specs_factory=specs_factory,
             duration=duration,
-            **config,
-            **fixed_kwargs,
+            config=dict(zip(names, values)),
+            fixed_kwargs=fixed_kwargs,
+            with_bound=with_bound,
+            strip_accessor=jobs > 1,
         )
-        rows.append(
-            SweepRow(
-                config=config,
-                result=result,
-                summary=summarize(result, with_bound=with_bound),
-            )
-        )
-    return rows
+        for values in itertools.product(*(grid[name] for name in names))
+    ]
+    if jobs > 1:
+        rows: List[SweepRow] = []
+        for outcome in parallel_map(_run_point, points, jobs=jobs, mp_context=mp_context):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"sweep point {points[outcome.index].config} failed: {outcome.error}"
+                )
+            rows.append(outcome.value)
+        return rows
+    return [_run_point(point) for point in points]
 
 
 def sweep_table(

@@ -30,6 +30,7 @@ from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summ
 from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
 from repro.sim.engine import ENGINE_FACTORIES
 from repro.experiments.chaos import CHAOS_PLANS, make_plan, run_chaos
+from repro.experiments.chaos_tables import chaos_table
 from repro.experiments.scenarios import (
     baremetal_specs,
     cloud_specs,
@@ -139,6 +140,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full chaos report as JSON"
     )
     _add_scheme_knobs(chaos_p)
+
+    ct_p = sub.add_parser(
+        "chaos-table",
+        help='the "Table 5" the paper never had: schemes × fault plans '
+             "degradation matrix with multi-seed Wilson CIs",
+    )
+    ct_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="cloud")
+    ct_p.add_argument("--participants", type=int, default=4)
+    ct_p.add_argument("--duration", type=float, default=6_000.0, help="µs per run")
+    ct_p.add_argument("--seed", type=int, default=0, help="base seed of the substreams")
+    ct_p.add_argument(
+        "--engine", choices=sorted(ENGINE_FACTORIES), default="heap",
+        help="event-engine implementation backing every run",
+    )
+    ct_p.add_argument(
+        "--schemes", nargs="+", choices=sorted(SCHEMES), default=None,
+        help="schemes to degrade (default: all registered)",
+    )
+    ct_p.add_argument(
+        "--plans", nargs="+", choices=sorted(CHAOS_PLANS), default=None,
+        help="named fault plans (default: all)",
+    )
+    ct_p.add_argument(
+        "--seeds", type=int, default=3, metavar="K",
+        help="independent seed substreams per (scheme, plan) cell",
+    )
+    ct_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    ct_p.add_argument(
+        "--json", action="store_true", help="emit the full table document as JSON"
+    )
 
     repro_p = sub.add_parser(
         "reproduce", help="regenerate every paper table and figure into a directory"
@@ -362,6 +396,33 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_chaos_table(args) -> int:
+    table = chaos_table(
+        schemes=args.schemes,
+        plans=args.plans,
+        n_seeds=args.seeds,
+        base_seed=args.seed,
+        scenario=args.scenario,
+        participants=args.participants,
+        duration=args.duration,
+        engine=args.engine,
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(table.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(table.render())
+    skipped = [e for e in table.entries if not e.applicable]
+    if skipped:
+        print()
+        print("n/a cells (fault plan inapplicable to the scheme):")
+        for entry in skipped:
+            print(f"  {entry.scheme} × {entry.plan}: {entry.error}")
+    print()
+    print(f"table digest: {table.digest()}")
+    return 0
+
+
 def cmd_table(args) -> int:
     fn = TABLES[args.number]
     result = fn(duration=args.duration) if args.duration else fn()
@@ -452,6 +513,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "chaos": cmd_chaos,
+        "chaos-table": cmd_chaos_table,
         "table": cmd_table,
         "figure": cmd_figure,
         "sweep": cmd_sweep,

@@ -7,6 +7,12 @@ from repro.experiments.chaos import (
     make_plan,
     run_chaos,
 )
+from repro.experiments.chaos_tables import (
+    ChaosTable,
+    ChaosTableEntry,
+    build_cells,
+    chaos_table,
+)
 from repro.experiments.figures import (
     FigureResult,
     figure2_cloudex_spike,
@@ -55,6 +61,10 @@ __all__ = [
     "audit_all_schemes",
     "make_plan",
     "run_chaos",
+    "ChaosTable",
+    "ChaosTableEntry",
+    "build_cells",
+    "chaos_table",
     "FigureResult",
     "figure2_cloudex_spike",
     "figure7_pacing_drain",

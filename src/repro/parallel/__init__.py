@@ -1,0 +1,21 @@
+"""Process-parallel experiment fan-out.
+
+Each engine run is an isolated ``Runtime``; this package fans matrices
+of them across worker processes with deterministic per-cell seed
+substreams, ordered results, and per-cell error capture.  ``jobs=1`` and
+``jobs=N`` are byte-identical by contract (pinned in the test suite).
+"""
+
+from repro.parallel.matrix import CellResult, CellSpec, cell_seed, run_cell, run_cells
+from repro.parallel.pool import TaskOutcome, default_start_method, parallel_map
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "cell_seed",
+    "run_cell",
+    "run_cells",
+    "TaskOutcome",
+    "default_start_method",
+    "parallel_map",
+]

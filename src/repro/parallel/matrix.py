@@ -1,0 +1,209 @@
+"""Declarative experiment cells and the matrix fan-out built on them.
+
+A :class:`CellSpec` names one isolated engine run — scheme × scenario ×
+optional fault plan × seed — entirely with picklable values (names and
+numbers, never live objects).  The worker, :func:`run_cell`, rebuilds the
+scenario specs and deployment *inside* the worker process and reduces
+the run to a :class:`CellResult` carrying only JSON/pickle-safe payloads
+(``summary_to_dict`` digests, ``DegradationReport`` dicts, trade-ordering
+digests, fairness pair counts) — never a ``RunResult``, whose
+``reverse_latency_at`` accessor is a closure and cannot cross the
+process boundary.
+
+Seed determinism: each cell's seed is derived with
+:func:`repro.sim.randomness.substream_seed` from the base seed and the
+cell's labels, so a cell's result depends only on its own coordinates —
+not on worker count, scheduling, or which other cells exist.  That is
+what makes ``jobs=N`` byte-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.pool import TaskOutcome, parallel_map
+from repro.sim.randomness import substream_seed
+
+__all__ = ["CellSpec", "CellResult", "cell_seed", "run_cell", "run_cells"]
+
+
+def cell_seed(base_seed: int, scheme: str, scenario: str, plan: Optional[str], index: int) -> int:
+    """The deterministic seed substream for one matrix cell.
+
+    Masked to 32 bits purely for readability in JSON artifacts; the
+    substream derivation already guarantees independence across cells.
+    """
+    return substream_seed(base_seed, scheme, scenario, plan or "", index) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One isolated engine run, described with picklable values only.
+
+    ``plan`` is a named chaos plan (run clean + faulted twins via
+    :func:`repro.experiments.chaos.run_chaos`) or ``None`` for a plain
+    run.  ``scheme_kwargs`` reach the deployment constructor (e.g. an FBA
+    ``batch_interval`` short enough for the duration).
+    """
+
+    scheme: str
+    seed: int
+    plan: Optional[str] = None
+    scenario: str = "cloud"
+    participants: int = 4
+    duration: float = 6_000.0
+    engine: str = "heap"
+    feed_interval: float = 40.0
+    scheme_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        plan = self.plan or "clean"
+        return f"{self.scheme}|{plan}|{self.scenario}|{self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "plan": self.plan,
+            "scenario": self.scenario,
+            "participants": self.participants,
+            "duration": self.duration,
+            "engine": self.engine,
+            "feed_interval": self.feed_interval,
+            "scheme_kwargs": {k: repr(v) for k, v in sorted(self.scheme_kwargs.items())},
+        }
+
+
+@dataclass
+class CellResult:
+    """What one cell produced — or why it could not run.
+
+    For chaos cells both twin digests, the degradation dict, and the
+    clean/faulted fairness pair counts (for pooled Wilson intervals) are
+    populated; plain cells fill ``clean_digest``/``summary``/
+    ``clean_pairs`` only.  Failed cells (``ok=False``) carry the
+    deterministic ``error`` string — an inapplicable scheme × plan combo
+    is data, not a crash.
+    """
+
+    cell: CellSpec
+    ok: bool
+    error: Optional[str] = None
+    clean_digest: Optional[str] = None
+    faulted_digest: Optional[str] = None
+    summary: Optional[Dict[str, Any]] = None
+    degradation: Optional[Dict[str, Any]] = None
+    clean_pairs: Optional[Tuple[int, int]] = None
+    faulted_pairs: Optional[Tuple[int, int]] = None
+    safe: Optional[bool] = None
+    injector: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell.to_dict(),
+            "ok": self.ok,
+            "error": self.error,
+            "clean_digest": self.clean_digest,
+            "faulted_digest": self.faulted_digest,
+            "summary": self.summary,
+            "degradation": self.degradation,
+            "clean_pairs": list(self.clean_pairs) if self.clean_pairs else None,
+            "faulted_pairs": list(self.faulted_pairs) if self.faulted_pairs else None,
+            "safe": self.safe,
+            "injector": self.injector,
+        }
+
+
+def _specs_factory(cell: CellSpec):
+    # Imported lazily: repro.experiments imports this package (via
+    # chaos_tables), so top-level imports here would cycle.
+    from repro.experiments.scenarios import (
+        baremetal_specs,
+        cloud_specs,
+        congested_specs,
+        multizone_specs,
+        trace_specs,
+    )
+
+    builders = {
+        "cloud": cloud_specs,
+        "baremetal": baremetal_specs,
+        "congested": congested_specs,
+        "multizone": multizone_specs,
+        "trace": trace_specs,
+    }
+    try:
+        builder = builders[cell.scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {cell.scenario!r}; choose from {sorted(builders)}"
+        ) from None
+    return lambda: builder(cell.participants, seed=cell.seed)
+
+
+def run_cell(cell: CellSpec) -> CellResult:
+    """Execute one cell in the current process (the pool worker body)."""
+    from repro.exchange.feed import FeedConfig
+    from repro.experiments.chaos import make_plan, run_chaos
+    from repro.experiments.runner import run_scheme, summarize
+    from repro.metrics.fairness import evaluate_fairness
+    from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
+
+    factory = _specs_factory(cell)
+    common = dict(
+        duration=cell.duration,
+        seed=cell.seed,
+        engine=cell.engine,
+        feed_config=FeedConfig(interval=cell.feed_interval),
+    )
+    if cell.plan is None:
+        result = run_scheme(cell.scheme, factory(), **common, **cell.scheme_kwargs)
+        fairness = evaluate_fairness(result)
+        return CellResult(
+            cell=cell,
+            ok=True,
+            clean_digest=trade_ordering_digest(result),
+            summary=summary_to_dict(summarize(result, with_bound=False)),
+            clean_pairs=(fairness.correct_pairs, fairness.total_pairs),
+        )
+
+    plan = make_plan(cell.plan, cell.duration, cell.participants)
+    report = run_chaos(cell.scheme, factory, plan=plan, **common, **cell.scheme_kwargs)
+    clean_fairness = evaluate_fairness(report.clean)
+    faulted_fairness = evaluate_fairness(report.faulted)
+    return CellResult(
+        cell=cell,
+        ok=True,
+        clean_digest=report.clean_digest,
+        faulted_digest=report.faulted_digest,
+        degradation=report.degradation.to_dict(),
+        clean_pairs=(clean_fairness.correct_pairs, clean_fairness.total_pairs),
+        faulted_pairs=(faulted_fairness.correct_pairs, faulted_fairness.total_pairs),
+        safe=report.safe,
+        injector=dict(report.injector_summary),
+    )
+
+
+def run_cells(
+    cells: Sequence[CellSpec],
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+) -> List[CellResult]:
+    """Run every cell, serially or across processes; order is preserved.
+
+    A cell that raises (inapplicable plan, unknown scheme, ...) comes
+    back as ``CellResult(ok=False, error=...)`` — the sweep always
+    returns ``len(cells)`` results.
+    """
+    outcomes: List[TaskOutcome] = parallel_map(
+        run_cell, cells, jobs=jobs, mp_context=mp_context
+    )
+    results: List[CellResult] = []
+    for cell, outcome in zip(cells, outcomes):
+        if outcome.ok:
+            results.append(outcome.value)
+        else:
+            results.append(CellResult(cell=cell, ok=False, error=outcome.error))
+    return results

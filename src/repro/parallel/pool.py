@@ -1,0 +1,101 @@
+"""Process-parallel map with per-task error capture and ordered results.
+
+Every engine run in this reproduction is a self-contained ``Runtime`` —
+no globals, no shared mutable state — so fanning a matrix of runs across
+worker *processes* is safe by construction.  What the stdlib ``Pool``
+does not give us out of the box is the contract the experiment harness
+needs:
+
+* **results come back in submission order**, regardless of which worker
+  finished first (determinism of the aggregate artifact);
+* **one crashed task never kills the sweep** — exceptions are caught
+  *inside* the worker and returned as data (:class:`TaskOutcome`), so a
+  175-cell chaos matrix with three inapplicable cells still yields 172
+  results plus three structured errors;
+* **``jobs=1`` is byte-identical to ``jobs=N``** — the serial path runs
+  the exact same wrapper in-process, so tests can pin equality.
+
+The callable and every item must be picklable (module-level functions,
+dataclasses); that boundary is deliberate — see
+:mod:`repro.parallel.matrix` for the declarative cell specs that cross it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["TaskOutcome", "default_start_method", "parallel_map"]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, Linux), else ``spawn``.
+
+    Both yield identical task results — workers recompute everything from
+    the picklable task description — so the choice is a startup-cost
+    knob, not a semantics knob.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result or captured failure.
+
+    ``ok`` distinguishes the two; ``error`` is ``"ExcType: message"``
+    (deterministic, safe to hash into digests), ``traceback`` the full
+    formatted traceback for debugging (not digest material).
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+
+def _call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskOutcome:
+    try:
+        return TaskOutcome(index=index, ok=True, value=fn(item))
+    except Exception as exc:
+        return TaskOutcome(
+            index=index,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+
+
+def _invoke(payload) -> TaskOutcome:
+    fn, index, item = payload
+    return _call(fn, index, item)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+    chunksize: int = 1,
+) -> List[TaskOutcome]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Returns one :class:`TaskOutcome` per item, **in item order**.  With
+    ``jobs <= 1`` (or fewer than two items) everything runs in-process
+    through the identical wrapper; with ``jobs > 1`` a pool of
+    ``min(jobs, len(items))`` workers is used.  ``fn`` and the items must
+    be picklable when ``jobs > 1``.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0/1 mean serial)")
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [_call(fn, index, item) for index, item in enumerate(work)]
+    context = multiprocessing.get_context(mp_context or default_start_method())
+    payloads = [(fn, index, item) for index, item in enumerate(work)]
+    with context.Pool(processes=min(jobs, len(work))) as pool:
+        return pool.map(_invoke, payloads, chunksize=chunksize)

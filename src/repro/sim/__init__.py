@@ -29,9 +29,11 @@ from repro.sim.randomness import (
     stable_bool,
     stable_exponential,
     stable_normal,
+    stable_token,
     stable_u64,
     stable_uniform,
     stable_unit,
+    substream_seed,
 )
 
 __all__ = [
@@ -61,7 +63,9 @@ __all__ = [
     "stable_bool",
     "stable_exponential",
     "stable_normal",
+    "stable_token",
     "stable_u64",
     "stable_uniform",
     "stable_unit",
+    "substream_seed",
 ]

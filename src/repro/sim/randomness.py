@@ -27,6 +27,8 @@ __all__ = [
     "stable_exponential",
     "stable_normal",
     "stable_bool",
+    "stable_token",
+    "substream_seed",
     "SubstreamCounter",
 ]
 
@@ -80,6 +82,37 @@ def stable_normal(mean: float, std: float, seed: int, *coordinates: int) -> floa
 def stable_bool(probability: float, seed: int, *coordinates: int) -> bool:
     """A reproducible Bernoulli draw with the given success probability."""
     return stable_unit(seed, *coordinates) < probability
+
+
+def stable_token(text: str) -> int:
+    """A reproducible 64-bit coordinate for a string label.
+
+    Experiment matrices are indexed by *names* (scheme, scenario, plan);
+    this folds the UTF-8 bytes through the same SplitMix64 avalanche used
+    for integer coordinates, so string-labelled cells can derive seed
+    substreams via :func:`stable_u64`/:func:`substream_seed` without
+    relying on salted ``hash()``.
+    """
+    data = text.encode("utf-8")
+    state = splitmix64(len(data))
+    for byte in data:
+        state = splitmix64((state ^ byte) & _MASK64)
+    return state
+
+
+def substream_seed(seed: int, *labels) -> int:
+    """Derive an independent child seed from string/int labels.
+
+    The workhorse of the process-parallel matrix runner: every
+    (scheme, scenario, plan, seed-index) cell gets its own seed, fully
+    determined by the base seed and the labels — independent of worker
+    count, scheduling, or execution order.
+    """
+    coordinates = tuple(
+        label if isinstance(label, int) else stable_token(str(label))
+        for label in labels
+    )
+    return stable_u64(seed, *coordinates)
 
 
 class SubstreamCounter:

@@ -1,0 +1,111 @@
+"""Property-based edge-case coverage for wilson_interval / pooled_fairness.
+
+ISSUE 3 satellite: analysis/stats.py previously had no direct unit
+coverage of its degenerate cases.  The properties pinned here:
+
+* intervals are genuine sub-intervals of [0, 1] containing the point
+  estimate;
+* more trials at the same ratio never widen the interval (monotonicity
+  in n);
+* degenerate 0/0, 0/n and n/n inputs behave as documented;
+* pooling is exactly the Wilson interval of the summed counts.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import pooled_fairness, wilson_interval
+
+counts = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def successes_trials(draw):
+    trials = draw(st.integers(min_value=1, max_value=10_000))
+    successes = draw(st.integers(min_value=0, max_value=trials))
+    return successes, trials
+
+
+class TestWilsonProperties:
+    @given(successes_trials())
+    def test_bounds_and_point_estimate(self, st_pair):
+        successes, trials = st_pair
+        low, high = wilson_interval(successes, trials)
+        p = successes / trials
+        assert 0.0 <= low <= p <= high <= 1.0
+
+    @given(successes_trials(), st.integers(min_value=2, max_value=50))
+    def test_monotone_narrowing_in_n(self, st_pair, factor):
+        # Same ratio, factor× the evidence: the interval must not widen.
+        successes, trials = st_pair
+        low1, high1 = wilson_interval(successes, trials)
+        low2, high2 = wilson_interval(successes * factor, trials * factor)
+        assert (high2 - low2) <= (high1 - low1) + 1e-12
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_degenerate_zero_successes(self, trials):
+        low, high = wilson_interval(0, trials)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_degenerate_all_successes(self, trials):
+        low, high = wilson_interval(trials, trials)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+
+    def test_degenerate_no_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    @given(successes_trials())
+    def test_confidence_ordering(self, st_pair):
+        successes, trials = st_pair
+        widths = []
+        for confidence in (0.90, 0.95, 0.99):
+            low, high = wilson_interval(successes, trials, confidence)
+            widths.append(high - low)
+        assert widths[0] <= widths[1] <= widths[2]
+
+
+class TestPooledFairnessProperties:
+    @given(st.lists(successes_trials(), min_size=1, max_size=8))
+    def test_bounds(self, pairs):
+        pooled = pooled_fairness(pairs)
+        low, high = pooled["ci"]
+        assert 0.0 <= low <= pooled["ratio"] <= high <= 1.0
+        assert pooled["pairs"] == sum(t for _, t in pairs)
+        assert pooled["successes"] == sum(s for s, _ in pairs)
+        assert len(pooled["per_seed"]) == len(pairs)
+
+    @given(st.lists(successes_trials(), min_size=1, max_size=8))
+    def test_pooling_equals_wilson_of_sums(self, pairs):
+        pooled = pooled_fairness(pairs)
+        total_s = sum(s for s, _ in pairs)
+        total_t = sum(t for _, t in pairs)
+        assert pooled["ci"] == wilson_interval(total_s, total_t)
+        assert pooled["ratio"] == total_s / total_t
+
+    def test_degenerate_all_empty_seeds(self):
+        pooled = pooled_fairness([(0, 0), (0, 0)])
+        assert pooled["ratio"] == 1.0
+        assert pooled["ci"] == (0.0, 1.0)
+        assert pooled["per_seed"] == [1.0, 1.0]
+
+    def test_degenerate_empty_list(self):
+        pooled = pooled_fairness([])
+        assert pooled["ratio"] == 1.0
+        assert pooled["ci"] == (0.0, 1.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            pooled_fairness([(5, 3)])
+        with pytest.raises(ValueError):
+            pooled_fairness([(-1, 3)])
+
+    @given(st.lists(successes_trials(), min_size=1, max_size=6))
+    def test_empty_seeds_do_not_move_the_pool(self, pairs):
+        with_empty = pooled_fairness(pairs + [(0, 0)])
+        without = pooled_fairness(pairs)
+        assert with_empty["ci"] == without["ci"]
+        assert with_empty["ratio"] == without["ratio"]

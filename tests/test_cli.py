@@ -274,3 +274,61 @@ class TestChaos:
     def test_congested_scenario_available(self):
         args = build_parser().parse_args(["run", "--scenario", "congested"])
         assert args.scenario == "congested"
+
+
+class TestChaosTable:
+    ARGS = ["chaos-table", "--schemes", "direct", "dbo", "--plans", "partition",
+            "--seeds", "2", "--participants", "3", "--duration", "2500",
+            "--seed", "11"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-table"])
+        assert args.schemes is None  # None = every registered scheme
+        assert args.plans is None
+        assert args.seeds == 3
+        assert args.jobs == 1
+        assert args.participants == 4
+        assert args.duration == 6_000.0
+
+    def test_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos-table", "--plans", "tsunami"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos-table", "--schemes", "quantum"])
+
+    def test_renders_table_and_digest(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "direct" in out and "dbo" in out
+        assert "table digest: " in out
+
+    def test_json_document(self, capsys):
+        code = main(self.ARGS + ["--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["cells"]) == 4  # 2 schemes x 1 plan x 2 seeds
+        assert len(doc["entries"]) == 2
+        assert len(doc["table_digest"]) == 64
+        for entry in doc["entries"]:
+            low, high = entry["clean_fairness"]["ci"]
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_jobs_flag_does_not_change_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_na_rows_listed(self, capsys):
+        code = main(["chaos-table", "--schemes", "direct", "--plans",
+                     "ob-failover", "--seeds", "1", "--participants", "3",
+                     "--duration", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n/a cells" in out
+        assert "requires a DBO deployment" in out

@@ -1,0 +1,65 @@
+"""Tests for the generic process-parallel map (repro.parallel.pool)."""
+
+import pytest
+
+from repro.parallel.pool import TaskOutcome, default_start_method, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def explode_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd input {x}")
+    return x // 2
+
+
+class TestSerialPath:
+    def test_results_in_order(self):
+        outcomes = parallel_map(square, [3, 1, 2], jobs=1)
+        assert [o.value for o in outcomes] == [9, 1, 4]
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert all(o.ok for o in outcomes)
+
+    def test_error_captured_not_raised(self):
+        outcomes = parallel_map(explode_on_odd, [0, 1, 2], jobs=1)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].value is None
+        assert outcomes[1].error == "ValueError: odd input 1"
+        assert "explode_on_odd" in outcomes[1].traceback
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            parallel_map(square, [1], jobs=-1)
+
+    def test_single_item_never_forks(self):
+        # len(items) <= 1 short-circuits to the in-process path even with
+        # jobs > 1; an unpicklable fn proves no pool was involved.
+        outcomes = parallel_map(lambda x: x + 1, [41], jobs=8)
+        assert outcomes[0].value == 42
+
+
+class TestParallelPath:
+    def test_matches_serial(self):
+        items = list(range(7))
+        serial = parallel_map(explode_on_odd, items, jobs=1)
+        parallel = parallel_map(explode_on_odd, items, jobs=3)
+        assert [(o.index, o.ok, o.value, o.error) for o in serial] == [
+            (o.index, o.ok, o.value, o.error) for o in parallel
+        ]
+
+    def test_more_jobs_than_items(self):
+        outcomes = parallel_map(square, [1, 2], jobs=16)
+        assert [o.value for o in outcomes] == [1, 4]
+
+    def test_outcomes_are_task_outcomes(self):
+        for outcome in parallel_map(square, [1, 2, 3], jobs=2):
+            assert isinstance(outcome, TaskOutcome)
+
+
+def test_default_start_method_is_known():
+    assert default_start_method() in {"fork", "spawn"}

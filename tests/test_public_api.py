@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.theory",
     "repro.analysis",
     "repro.experiments",
+    "repro.parallel",
 ]
 
 

@@ -1,0 +1,59 @@
+"""Regression pin for the "Table 5" chaos degradation matrix.
+
+The table digest hashes every cell's clean/faulted trade-ordering digest
+(position-ordered ``mp_id:trade_seq:position`` triples), so it moves if
+*any* engine run in the matrix executes or matches differently — a
+change to fault scheduling, seed-substream derivation, scenario specs,
+or the matchers themselves all surface here.  Update the constant only
+for an intentional, understood behaviour change, and note why in the
+commit message.
+
+The same matrix is run at ``jobs=1`` and ``jobs=2``, so this test is
+also the byte-identical parallel-vs-serial acceptance check.
+"""
+
+from repro.experiments.chaos_tables import chaos_table
+from repro.parallel import cell_seed
+
+PINNED_MATRIX = dict(
+    schemes=["direct", "dbo"],
+    plans=["link-flaky", "partition"],
+    n_seeds=2,
+    base_seed=7,
+    participants=3,
+    duration=3_000.0,
+)
+
+PINNED_DIGEST = "72fc68f31a22d667d941de4e870e3577444a3185db07af0df40848bec95ee453"
+
+# The first cell's derived seed, pinned separately so a digest mismatch
+# can be triaged: if this moves, the substream derivation changed; if
+# only the table digest moves, engine behaviour changed.
+PINNED_FIRST_SEED = cell_seed(7, "direct", "cloud", "link-flaky", 0)
+
+
+def test_table5_digest_is_pinned():
+    table = chaos_table(**PINNED_MATRIX)
+    assert table.cells[0].cell.seed == PINNED_FIRST_SEED
+    assert table.digest() == PINNED_DIGEST
+    assert table.to_dict()["table_digest"] == PINNED_DIGEST
+
+
+def test_table5_digest_is_jobs_invariant():
+    serial = chaos_table(**PINNED_MATRIX, jobs=1)
+    parallel = chaos_table(**PINNED_MATRIX, jobs=2)
+    assert serial.digest() == PINNED_DIGEST
+    assert parallel.digest() == PINNED_DIGEST
+    assert serial.to_dict() == parallel.to_dict()
+
+
+def test_seed_substreams_are_pinned():
+    # The derivation itself is part of the contract: these values came
+    # from the SplitMix64 substream walk and must never drift.
+    assert cell_seed(7, "direct", "cloud", "link-flaky", 0) == PINNED_FIRST_SEED
+    assert cell_seed(7, "direct", "cloud", "link-flaky", 0) != cell_seed(
+        7, "direct", "cloud", "link-flaky", 1
+    )
+    assert cell_seed(7, "direct", "cloud", "link-flaky", 0) != cell_seed(
+        7, "dbo", "cloud", "link-flaky", 0
+    )
