@@ -39,6 +39,7 @@ from repro.experiments.scenarios import (
     trace_specs,
 )
 from repro.faults.plan import FaultSchedule
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.metrics.serialization import save_run_result
@@ -173,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     ct_p.add_argument(
         "--json", action="store_true", help="emit the full table document as JSON"
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & simulation-purity static analysis (DBO1xx rules)",
+    )
+    add_lint_arguments(lint_p)
 
     repro_p = sub.add_parser(
         "reproduce", help="regenerate every paper table and figure into a directory"
@@ -423,6 +430,10 @@ def cmd_chaos_table(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    return run_lint(args)
+
+
 def cmd_table(args) -> int:
     fn = TABLES[args.number]
     result = fn(duration=args.duration) if args.duration else fn()
@@ -514,6 +525,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "chaos": cmd_chaos,
         "chaos-table": cmd_chaos_table,
+        "lint": cmd_lint,
         "table": cmd_table,
         "figure": cmd_figure,
         "sweep": cmd_sweep,

@@ -189,7 +189,7 @@ def build_cells(
     if n_seeds < 1:
         raise ValueError("need at least one seed")
     defaults: Dict[str, Dict[str, Any]] = {"fba": {"batch_interval": duration / 8.0}}
-    for scheme, extra in (scheme_kwargs or {}).items():
+    for scheme, extra in sorted((scheme_kwargs or {}).items()):
         defaults.setdefault(scheme, {}).update(extra)
     cells: List[CellSpec] = []
     for scheme in schemes:

@@ -122,7 +122,7 @@ class SchemeRegistry:
 
     def factories(self) -> Dict[str, Callable[..., BaseDeployment]]:
         """A plain name → deployment-class view (legacy ``SCHEMES`` shape)."""
-        return {name: builder.factory for name, builder in self._builders.items()}
+        return {name: builder.factory for name, builder in sorted(self._builders.items())}
 
     def __contains__(self, name: object) -> bool:
         return name in self._builders

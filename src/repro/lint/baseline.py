@@ -1,0 +1,97 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline entry is a count per :meth:`Finding.baseline_key`
+(``path:CODE:fingerprint``), so the file survives line-number churn and
+only stops matching when the offending line itself is edited — exactly
+when the grandfathered finding should be re-examined.
+
+Workflow: ``repro lint --write-baseline`` regenerates the file from the
+current findings; the gate (``repro lint``) then fails only on findings
+*not* covered by it.  The file is JSON with sorted keys, so diffs review
+cleanly and regeneration is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding, sort_key
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "build_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {document.get('version')!r} in {path}"
+        )
+    entries = document.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline entries in {path}")
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def build_baseline(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Count findings per baseline key (the writable representation)."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        entries[key] = entries.get(key, 0) + 1
+    return entries
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = build_baseline(findings)
+    document = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered repro-lint findings. Regenerate with "
+            "`repro lint --write-baseline`; entries stop matching when "
+            "the offending line is edited."
+        ),
+        "entries": dict(sorted(entries.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined).
+
+    Findings are matched in canonical order; the first *n* occurrences of
+    a key (where *n* is the baselined count) are grandfathered, any
+    excess is new.  Both lists come back in canonical order.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(findings, key=sort_key):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.baselined = True
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,78 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+Findings are plain data — path, position, rule code, message, and the
+stripped source line (``snippet``).  Two derived values matter to the
+rest of the pipeline:
+
+* :func:`sort_key` — the canonical ordering (path, line, column, code)
+  every reporter uses, so text and JSON output are byte-stable across
+  runs, worker counts, and filesystem iteration order;
+* :meth:`Finding.fingerprint` / :meth:`Finding.baseline_key` — a
+  line-number-free identity used by the committed baseline, so
+  grandfathered findings keep matching while unrelated edits shift the
+  file around them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding", "sort_key"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source position.
+
+    ``baselined`` is set by the baseline pass — a baselined finding is
+    reported (in JSON and with ``--show-baselined``) but never fails the
+    run.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """A line-number-free identity: hash of (code, stripped line).
+
+        Line numbers churn on every unrelated edit; the rule code plus
+        the offending line's text is stable until the finding itself is
+        touched — exactly when a baseline entry *should* stop matching.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.code.encode("utf-8"))
+        digest.update(b"|")
+        digest.update(self.snippet.strip().encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    def baseline_key(self) -> str:
+        """The committed-baseline lookup key for this finding."""
+        return f"{self.path}:{self.code}:{self.fingerprint()}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    """Canonical finding order: path, then position, then rule code."""
+    return (finding.path, finding.line, finding.col, finding.code)

@@ -1,0 +1,74 @@
+"""Per-line suppression comments: ``# dbo: ignore[DBO104]``.
+
+A suppression lives on the same physical line the finding is reported
+on (the flagged node's ``lineno``).  Two forms:
+
+* ``# dbo: ignore[DBO101]`` / ``# dbo: ignore[DBO101, DBO107]`` —
+  suppress the named rule(s) only;
+* ``# dbo: ignore`` — suppress every rule on that line (blanket form;
+  prefer the coded form so the suppression documents *what* is waived).
+
+Comments are found with :mod:`tokenize`, so a ``# dbo: ignore`` inside a
+string literal never suppresses anything.  Files that fail to tokenize
+fall back to a conservative per-line regex scan (the AST pass will
+surface the syntax error as its own finding anyway).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["ALL_CODES", "Suppressions", "collect_suppressions", "is_suppressed"]
+
+# Sentinel for the blanket "# dbo: ignore" form.
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+_PATTERN = re.compile(
+    r"#\s*dbo:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+# line number -> codes suppressed on that line (ALL_CODES for blanket).
+Suppressions = Dict[int, FrozenSet[str]]
+
+
+def _parse_comment(text: str) -> Optional[FrozenSet[str]]:
+    match = _PATTERN.search(text)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return ALL_CODES
+    parsed = frozenset(code.strip().upper() for code in codes.split(",") if code.strip())
+    return parsed or ALL_CODES
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Map line numbers to the rule codes suppressed there."""
+    table: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            codes = _parse_comment(token.string)
+            if codes is not None:
+                table[token.start[0]] = table.get(token.start[0], frozenset()) | codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            codes = _parse_comment(line)
+            if codes is not None:
+                table[lineno] = table.get(lineno, frozenset()) | codes
+    return table
+
+
+def is_suppressed(table: Suppressions, line: int, code: str) -> bool:
+    """True when ``code`` is waived on ``line`` (exact or blanket form)."""
+    codes = table.get(line)
+    if codes is None:
+        return False
+    return "*" in codes or code.upper() in codes

@@ -1,0 +1,271 @@
+"""The single-pass AST walk behind every rule.
+
+Design: one :class:`LintVisitor` traverses each module exactly once and
+dispatches nodes to every registered rule that (a) applies to the file's
+path and (b) defines a ``check_<NodeType>`` hook.  Rules are stateless
+between files; all per-module state they need — import alias resolution,
+enclosing-scope info, source snippets, suppression table — lives on the
+shared :class:`ModuleContext`.
+
+The context pre-computes two things rules keep asking for:
+
+* **alias map** — ``import numpy as np`` / ``from time import
+  perf_counter as pc`` are folded into dotted names, so a rule can ask
+  :meth:`ModuleContext.resolve` for ``np.random.default_rng`` and get
+  ``numpy.random.default_rng`` regardless of the import spelling;
+* **nested callables** — per function scope, the names bound by nested
+  ``def``s and ``name = lambda`` assignments, so the picklability rule
+  (DBO104) can tell a module-level worker from a closure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.suppressions import Suppressions, is_suppressed
+
+__all__ = ["ModuleContext", "Rule", "LintVisitor", "run_rules"]
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted import path, for every import in the module.
+
+    ``from datetime import datetime`` maps ``datetime -> datetime.datetime``
+    so attribute chains resolve to their canonical dotted form.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                aliases[local] = item.name if item.asname else local
+                if item.asname:
+                    aliases[item.asname] = item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports never hit stdlib wall clocks
+                continue
+            module = node.module or ""
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{module}.{item.name}" if module else item.name
+    return aliases
+
+
+class _Scope:
+    """One function scope: names bound to nested defs / lambdas inside it."""
+
+    __slots__ = ("node", "local_callables")
+
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+        self.local_callables: Set[str] = set()
+
+
+class ModuleContext:
+    """Everything a rule may ask about the module under analysis."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        suppressions: Suppressions,
+    ) -> None:
+        self.path = path
+        self.source_lines = source.splitlines()
+        self.tree = tree
+        self.suppressions = suppressions
+        self.aliases = _collect_aliases(tree)
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        # Maintained by the visitor during traversal:
+        self.scope_stack: List[_Scope] = []
+        self.class_stack: List[ast.ClassDef] = []
+
+    # -- source access -------------------------------------------------
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].strip()
+        return ""
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (lazily built, whole-module map)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[id(child)] = outer
+        return self._parents.get(id(node))
+
+    # -- name resolution ----------------------------------------------
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The source-level dotted form of a Name/Attribute chain."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, import-aware."""
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved_head = self.aliases.get(head, head)
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+    def is_imported_module(self, name: str) -> bool:
+        """True when ``name`` is bound by an ``import``/``from`` statement."""
+        return name in self.aliases
+
+    # -- scope queries -------------------------------------------------
+    def in_function(self) -> bool:
+        return bool(self.scope_stack)
+
+    def is_local_callable(self, name: str) -> bool:
+        """True when ``name`` is a nested def or lambda in an enclosing scope."""
+        return any(name in scope.local_callables for scope in self.scope_stack)
+
+    def enclosing_class(self) -> Optional[ast.ClassDef]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    # -- finding construction -----------------------------------------
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=lineno,
+            col=col,
+            code=code,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (``DBO1xx``), ``summary`` (one line, shown by
+    ``repro lint --list-rules`` and quoted in the docs), optionally
+    ``invariant`` (the runtime guarantee the rule protects), and
+    implement ``check_<NodeType>(node, ctx)`` hooks yielding findings.
+    ``applies_to`` scopes a rule to part of the tree (e.g. wall-clock
+    reads are only banned inside ``src/repro``).
+    """
+
+    code: str = ""
+    summary: str = ""
+    invariant: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def hooks(self) -> Dict[str, Callable]:
+        """Node-type name -> bound hook, discovered by prefix."""
+        table: Dict[str, Callable] = {}
+        for name in dir(self):
+            if name.startswith("check_"):
+                table[name[len("check_"):]] = getattr(self, name)
+        return table
+
+
+class LintVisitor(ast.NodeVisitor):
+    """Walks a module once, feeding nodes to every applicable rule."""
+
+    def __init__(self, ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._dispatch: Dict[str, List] = {}
+        for rule in rules:
+            if not rule.applies_to(ctx.path):
+                continue
+            for node_type, hook in rule.hooks().items():
+                self._dispatch.setdefault(node_type, []).append((rule, hook))
+
+    # -- scope bookkeeping --------------------------------------------
+    def _enter_function(self, node: ast.AST) -> None:
+        scope = _Scope(node)
+        for child in ast.iter_child_nodes(node):
+            self._record_local_callables(child, scope)
+        self.ctx.scope_stack.append(scope)
+
+    def _record_local_callables(self, node: ast.AST, scope: _Scope) -> None:
+        """Direct children only: nested defs and ``name = lambda`` bindings."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.local_callables.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    scope.local_callables.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.value, ast.Lambda):
+            if isinstance(node.target, ast.Name):
+                scope.local_callables.add(node.target.id)
+        else:
+            # Statements like `if cond: def f(): ...` still bind in this
+            # scope; recurse into compound statements but not into nested
+            # functions/classes (those bind in their own scope).
+            if not isinstance(node, (ast.Lambda, ast.ClassDef)):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.stmt):
+                        self._record_local_callables(child, scope)
+                    elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        scope.local_callables.add(child.name)
+
+    # -- traversal -----------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        node_type = type(node).__name__
+        for rule, hook in self._dispatch.get(node_type, ()):
+            for finding in hook(node, self.ctx) or ():
+                if not is_suppressed(
+                    self.ctx.suppressions, finding.line, finding.code
+                ):
+                    self.findings.append(finding)
+
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            self._enter_function(node)
+            self.generic_visit(node)
+            self.ctx.scope_stack.pop()
+        elif isinstance(node, ast.ClassDef):
+            self.ctx.class_stack.append(node)
+            self.generic_visit(node)
+            self.ctx.class_stack.pop()
+        else:
+            self.generic_visit(node)
+
+
+def run_rules(
+    path: str,
+    source: str,
+    rules: Sequence[Rule],
+    suppressions: Suppressions,
+    select: Optional[FrozenSet[str]] = None,
+) -> Tuple[List[Finding], Optional[Finding]]:
+    """Parse and lint one module; returns (findings, parse_error_finding)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        error = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code="DBO100",
+            message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").strip(),
+        )
+        return [], error
+    active: Iterable[Rule] = rules
+    if select is not None:
+        active = [rule for rule in rules if rule.code in select]
+    ctx = ModuleContext(path, source, tree, suppressions)
+    visitor = LintVisitor(ctx, list(active))
+    visitor.visit(tree)
+    return visitor.findings, None

@@ -52,7 +52,9 @@ def ascii_plot(
     """
     if width < 10 or height < 4:
         raise ValueError("plot area too small")
-    series_items = [(name, list(pts)) for name, pts in named_series.items() if pts]
+    # Insertion order of `named_series` is the caller's explicit legend
+    # order — sorting here would scramble every figure's series labels.
+    series_items = [(name, list(pts)) for name, pts in named_series.items() if pts]  # dbo: ignore[DBO103]
     if not series_items:
         raise ValueError("nothing to plot")
 

@@ -74,7 +74,10 @@ def pairwise_correct(a: TradeRecord, b: TradeRecord) -> Optional[bool]:
         return None
     if not (a.completed and b.completed):
         return None
-    if a.response_time == b.response_time:
+    # Exact tie: both competitors drew the same response time, so the pair
+    # carries no ordering expectation.  Bitwise equality is the intended
+    # semantics here, not a tolerance check.
+    if a.response_time == b.response_time:  # dbo: ignore[DBO107]
         return None
     faster, slower = (a, b) if a.response_time < b.response_time else (b, a)
     return faster.position < slower.position
@@ -86,7 +89,9 @@ def evaluate_fairness(result: RunResult) -> FairnessReport:
     correct = 0
     total = 0
     unordered = sum(1 for t in result.trades if not t.completed)
-    for trades in races.values():
+    # Pair counts are commutative integer sums: race visit order cannot
+    # change the report.
+    for trades in races.values():  # dbo: ignore[DBO103]
         # Sort by response time: all pairs (faster, slower) then reduce to
         # a single O(n log n + pairs) sweep per race.
         trades_sorted = sorted(trades, key=lambda t: t.response_time)
@@ -114,7 +119,8 @@ def causality_violations(result: RunResult) -> int:
     by_mp: Dict[str, List[TradeRecord]] = {}
     for trade in result.completed_trades:
         by_mp.setdefault(trade.mp_id, []).append(trade)
-    for trades in by_mp.values():
+    # Violation counts are commutative integer sums over per-MP groups.
+    for trades in by_mp.values():  # dbo: ignore[DBO103]
         trades_sorted = sorted(trades, key=lambda t: t.submission_time)
         for earlier, later in zip(trades_sorted, trades_sorted[1:]):
             if earlier.submission_time < later.submission_time and earlier.position > later.position:
@@ -135,7 +141,8 @@ def fairness_by_rt_bucket(
     """
     races = result.trades_by_trigger()
     tallies: Dict[Tuple[float, float], List[int]] = {b: [0, 0] for b in buckets}
-    for trades in races.values():
+    # Bucket tallies are commutative integer sums: race order is immaterial.
+    for trades in races.values():  # dbo: ignore[DBO103]
         trades_sorted = sorted(trades, key=lambda t: t.response_time)
         for i in range(len(trades_sorted)):
             for j in range(i + 1, len(trades_sorted)):
@@ -158,5 +165,7 @@ def fairness_by_rt_bucket(
             races=len(races),
             unordered_trades=0,
         )
-        for bucket, counts in tallies.items()
+        # Keyed by the caller's bucket sequence; insertion order *is* the
+        # explicit order.
+        for bucket, counts in tallies.items()  # dbo: ignore[DBO103]
     }

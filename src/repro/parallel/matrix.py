@@ -84,13 +84,15 @@ class CellResult:
     clean/faulted fairness pair counts (for pooled Wilson intervals) are
     populated; plain cells fill ``clean_digest``/``summary``/
     ``clean_pairs`` only.  Failed cells (``ok=False``) carry the
-    deterministic ``error`` string — an inapplicable scheme × plan combo
-    is data, not a crash.
+    deterministic ``error`` string plus the structured ``error_type``
+    (exception class name) — an inapplicable scheme × plan combo is
+    data, not a crash.
     """
 
     cell: CellSpec
     ok: bool
     error: Optional[str] = None
+    error_type: Optional[str] = None
     clean_digest: Optional[str] = None
     faulted_digest: Optional[str] = None
     summary: Optional[Dict[str, Any]] = None
@@ -105,6 +107,7 @@ class CellResult:
             "cell": self.cell.to_dict(),
             "ok": self.ok,
             "error": self.error,
+            "error_type": self.error_type,
             "clean_digest": self.clean_digest,
             "faulted_digest": self.faulted_digest,
             "summary": self.summary,
@@ -116,7 +119,7 @@ class CellResult:
         }
 
 
-def _specs_factory(cell: CellSpec):
+def _scenario_builders() -> Dict[str, Any]:
     # Imported lazily: repro.experiments imports this package (via
     # chaos_tables), so top-level imports here would cycle.
     from repro.experiments.scenarios import (
@@ -127,20 +130,41 @@ def _specs_factory(cell: CellSpec):
         trace_specs,
     )
 
-    builders = {
+    return {
         "cloud": cloud_specs,
         "baremetal": baremetal_specs,
         "congested": congested_specs,
         "multizone": multizone_specs,
         "trace": trace_specs,
     }
-    try:
-        builder = builders[cell.scenario]
-    except KeyError:
+
+
+@dataclass(frozen=True)
+class _SpecsFactory:
+    """A module-level, *picklable* specs thunk (DBO104-clean by construction).
+
+    Historically this was a closure (``lambda: builder(...)``); it never
+    actually crossed the process boundary — it is created inside the
+    worker by :func:`run_cell` — but a picklable callable makes that
+    safety structural rather than incidental, and the spawn-mode
+    regression test can now assert it directly.
+    """
+
+    scenario: str
+    participants: int
+    seed: int
+
+    def __call__(self) -> list:
+        return _scenario_builders()[self.scenario](self.participants, seed=self.seed)
+
+
+def _specs_factory(cell: CellSpec) -> _SpecsFactory:
+    builders = _scenario_builders()
+    if cell.scenario not in builders:
         raise ValueError(
             f"unknown scenario {cell.scenario!r}; choose from {sorted(builders)}"
-        ) from None
-    return lambda: builder(cell.participants, seed=cell.seed)
+        )
+    return _SpecsFactory(cell.scenario, cell.participants, cell.seed)
 
 
 def run_cell(cell: CellSpec) -> CellResult:
@@ -205,5 +229,12 @@ def run_cells(
         if outcome.ok:
             results.append(outcome.value)
         else:
-            results.append(CellResult(cell=cell, ok=False, error=outcome.error))
+            results.append(
+                CellResult(
+                    cell=cell,
+                    ok=False,
+                    error=outcome.error,
+                    error_type=outcome.exc_type,
+                )
+            )
     return results

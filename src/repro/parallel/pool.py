@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = ["TaskOutcome", "default_start_method", "parallel_map"]
 
@@ -46,15 +46,18 @@ def default_start_method() -> str:
 class TaskOutcome:
     """One task's result or captured failure.
 
-    ``ok`` distinguishes the two; ``error`` is ``"ExcType: message"``
-    (deterministic, safe to hash into digests), ``traceback`` the full
-    formatted traceback for debugging (not digest material).
+    ``ok`` distinguishes the two.  Failures are *structured* capture
+    (DBO108): ``exc_type`` is the exception class name alone,
+    ``error`` the deterministic ``"ExcType: message"`` form (safe to
+    hash into digests), ``traceback`` the full formatted traceback for
+    debugging (not digest material).
     """
 
     index: int
     ok: bool
     value: Any = None
     error: Optional[str] = None
+    exc_type: Optional[str] = None
     traceback: Optional[str] = None
 
 
@@ -66,11 +69,12 @@ def _call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskOutcome:
             index=index,
             ok=False,
             error=f"{type(exc).__name__}: {exc}",
+            exc_type=type(exc).__name__,
             traceback=traceback.format_exc(),
         )
 
 
-def _invoke(payload) -> TaskOutcome:
+def _invoke(payload: Tuple[Callable[[Any], Any], int, Any]) -> TaskOutcome:
     fn, index, item = payload
     return _call(fn, index, item)
 

@@ -745,7 +745,7 @@ ENGINE_FACTORIES: Dict[str, Callable[..., _EngineBase]] = {
 }
 
 
-def make_engine(kind: str = "heap", start_time: float = 0.0, **kwargs) -> _EngineBase:
+def make_engine(kind: str = "heap", start_time: float = 0.0, **kwargs: Any) -> _EngineBase:
     """Build an event engine by name (``heap``, ``wheel``, ``reference``)."""
     try:
         factory = ENGINE_FACTORIES[kind]

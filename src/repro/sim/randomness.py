@@ -100,7 +100,7 @@ def stable_token(text: str) -> int:
     return state
 
 
-def substream_seed(seed: int, *labels) -> int:
+def substream_seed(seed: int, *labels: object) -> int:
     """Derive an independent child seed from string/int labels.
 
     The workhorse of the process-parallel matrix runner: every

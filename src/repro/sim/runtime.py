@@ -77,7 +77,7 @@ class Runtime:
         engine: str = "heap",
         start_time: float = 0.0,
         params: Any = None,
-        **engine_kwargs,
+        **engine_kwargs: Any,
     ) -> "Runtime":
         """Build a runtime with a named engine kind (``heap``/``wheel``/…)."""
         return cls(

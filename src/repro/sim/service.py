@@ -76,7 +76,9 @@ class ServiceQueue:
         self.busy_time += self.service_time
         self.max_delay = max(self.max_delay, completion - now)
 
-        if self.service_time == 0.0:
+        # Fast path keyed on the *configured constant* 0.0, not a derived
+        # simulated time — exact equality is the intended sentinel test.
+        if self.service_time == 0.0:  # dbo: ignore[DBO107]
             self.handler(item, now)
             return now
 

@@ -1,0 +1,181 @@
+"""Suppression comments and the committed-baseline machinery."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    apply_baseline,
+    build_baseline,
+    collect_suppressions,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.suppressions import is_suppressed
+
+SRC = "src/repro/core/example.py"
+
+
+class TestSuppressions:
+    def test_coded_suppression_silences_that_rule(self):
+        src = "import time\nstart = time.time()  # dbo: ignore[DBO101]\n"
+        assert lint_source(src, path=SRC) == []
+
+    def test_coded_suppression_leaves_other_rules(self):
+        src = (
+            "import time\n"
+            "import random\n"
+            "start = time.time() + random.random()  # dbo: ignore[DBO101]\n"
+        )
+        assert [f.code for f in lint_source(src, path=SRC)] == ["DBO102"]
+
+    def test_blanket_suppression_silences_everything(self):
+        src = (
+            "import time\n"
+            "import random\n"
+            "start = time.time() + random.random()  # dbo: ignore\n"
+        )
+        assert lint_source(src, path=SRC) == []
+
+    def test_multiple_codes_in_one_comment(self):
+        src = (
+            "import time\n"
+            "import random\n"
+            "start = time.time() + random.random()  # dbo: ignore[DBO101, DBO102]\n"
+        )
+        assert lint_source(src, path=SRC) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import time\nstart = time.time()  # dbo: ignore[DBO102]\n"
+        assert [f.code for f in lint_source(src, path=SRC)] == ["DBO101"]
+
+    def test_suppression_is_line_local(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # dbo: ignore[DBO101]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src, path=SRC)
+        assert [(f.code, f.line) for f in findings] == [("DBO101", 3)]
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        src = (
+            "import time\n"
+            'label = "# dbo: ignore[DBO101]"\n'
+            "start = time.time()\n"
+        )
+        assert [f.code for f in lint_source(src, path=SRC)] == ["DBO101"]
+
+    def test_collect_suppressions_table(self):
+        src = "x = 1  # dbo: ignore[DBO103]\ny = 2  # dbo: ignore\n"
+        table = collect_suppressions(src)
+        assert is_suppressed(table, 1, "DBO103")
+        assert not is_suppressed(table, 1, "DBO101")
+        assert is_suppressed(table, 2, "DBO101")
+        assert not is_suppressed(table, 3, "DBO101")
+
+
+def _findings(source, path=SRC):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+class TestBaseline:
+    def test_fingerprint_survives_line_shift(self):
+        before = _findings("import time\nstart = time.time()\n")
+        after = _findings("import time\n\n\n# moved\nstart = time.time()\n")
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint() == after[0].fingerprint()
+        assert before[0].baseline_key() == after[0].baseline_key()
+
+    def test_apply_baseline_splits_new_from_grandfathered(self):
+        findings = _findings("import time\nstart = time.time()\n")
+        baseline = build_baseline(findings)
+        new, grandfathered = apply_baseline(findings, baseline)
+        assert new == []
+        assert len(grandfathered) == 1
+        assert grandfathered[0].baselined
+
+    def test_duplicate_lines_counted(self):
+        src = "import time\nstart = time.time()\nstop = time.time()\n"
+        findings = _findings(src)
+        assert len(findings) == 2
+        # The two findings are distinct lines -> distinct fingerprints,
+        # but identical text would share a key with count 2:
+        same_line = _findings("import time\na = time.time()\na = time.time()\n")
+        keys = [f.baseline_key() for f in same_line]
+        assert keys[0] == keys[1]
+        baseline = build_baseline(same_line)
+        assert baseline[keys[0]] == 2
+        # Only one baselined occurrence leaves the second as new.
+        short = {keys[0]: 1}
+        new, grandfathered = apply_baseline(same_line, short)
+        assert len(new) == 1 and len(grandfathered) == 1
+
+    def test_edited_line_stops_matching(self):
+        findings = _findings("import time\nstart = time.time()\n")
+        baseline = build_baseline(findings)
+        edited = _findings("import time\nstart = time.time() + 1.0\n")
+        new, grandfathered = apply_baseline(edited, baseline)
+        assert len(new) == 1
+        assert grandfathered == []
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        findings = _findings("import time\nstart = time.time()\n")
+        path = str(tmp_path / "lint-baseline.json")
+        count = write_baseline(path, findings)
+        assert count == 1
+        loaded = load_baseline(path)
+        assert loaded == build_baseline(findings)
+        document = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert document["version"] == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestLintPaths:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text("import time\nstart = time.time()\n")
+        (pkg / "clean.py").write_text("def ok():\n    return 1\n")
+        cache = pkg / "__pycache__"
+        cache.mkdir()
+        (cache / "dirty.cpython-311.py").write_text("import time\nt = time.time()\n")
+        return tmp_path
+
+    def test_walk_finds_findings_with_relative_paths(self, tmp_path):
+        root = self._tree(tmp_path)
+        run = lint_paths([str(root / "src")], root=str(root))
+        assert run.checked_files == 2  # __pycache__ skipped
+        assert [f.path for f in run.findings] == ["src/repro/core/dirty.py"]
+
+    def test_baseline_applied(self, tmp_path):
+        root = self._tree(tmp_path)
+        first = lint_paths([str(root / "src")], root=str(root))
+        baseline = build_baseline(first.findings)
+        second = lint_paths([str(root / "src")], root=str(root), baseline=baseline)
+        assert second.ok
+        assert len(second.baselined) == 1
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        from repro.lint import LintUsageError
+
+        with pytest.raises(LintUsageError):
+            lint_paths([str(tmp_path / "nope")], root=str(tmp_path))
+
+    def test_deterministic_output(self, tmp_path):
+        root = self._tree(tmp_path)
+        runs = [lint_paths([str(root / "src")], root=str(root)) for _ in range(2)]
+        assert [f.to_dict() for f in runs[0].findings] == [
+            f.to_dict() for f in runs[1].findings
+        ]

@@ -61,5 +61,32 @@ class TestParallelPath:
             assert isinstance(outcome, TaskOutcome)
 
 
+class TestStructuredCapture:
+    """DBO108 in practice: failures carry class name + traceback as data."""
+
+    def test_exc_type_recorded_serially(self):
+        outcomes = parallel_map(explode_on_odd, [0, 1], jobs=1)
+        assert outcomes[0].exc_type is None
+        assert outcomes[1].exc_type == "ValueError"
+        assert outcomes[1].error == "ValueError: odd input 1"
+        assert "ValueError: odd input 1" in outcomes[1].traceback
+
+    def test_exc_type_crosses_the_process_boundary(self):
+        serial = parallel_map(explode_on_odd, [0, 1, 2, 3], jobs=1)
+        parallel = parallel_map(explode_on_odd, [0, 1, 2, 3], jobs=2)
+        assert [(o.ok, o.exc_type, o.error) for o in serial] == [
+            (o.ok, o.exc_type, o.error) for o in parallel
+        ]
+
+    def test_error_type_threaded_into_cell_results(self):
+        from repro.parallel.matrix import CellSpec, run_cells
+
+        cells = [CellSpec(scheme="no-such-scheme", seed=1, duration=500.0)]
+        (result,) = run_cells(cells, jobs=1)
+        assert not result.ok
+        assert result.error_type == "UnknownSchemeError"
+        assert result.to_dict()["error_type"] == "UnknownSchemeError"
+
+
 def test_default_start_method_is_known():
     assert default_start_method() in {"fork", "spawn"}

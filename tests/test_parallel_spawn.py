@@ -1,0 +1,87 @@
+"""Spawn-start-method picklability regression (the DBO104 invariant, live).
+
+``fork`` hides pickling bugs: the child inherits the parent's memory, so
+a closure that could never be pickled still "works".  ``spawn`` is the
+strict mode — everything crossing the boundary must round-trip through
+pickle.  These tests prove the declarative cell layer (`CellSpec`,
+`run_cell`, the specs thunk) survives it, so the `jobs=N == jobs=1`
+digest guarantee holds on platforms where spawn is the only option.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.parallel.matrix import CellSpec, _specs_factory, run_cell, run_cells
+from repro.parallel.pool import parallel_map
+
+pytestmark = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
+
+
+def _tiny_cells():
+    return [
+        CellSpec(
+            scheme=scheme,
+            seed=7,
+            scenario="cloud",
+            participants=2,
+            duration=1_200.0,
+        )
+        for scheme in ("direct", "dbo")
+    ]
+
+
+class TestPicklability:
+    def test_cellspec_round_trips(self):
+        cell = _tiny_cells()[0]
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone == cell
+
+    def test_run_cell_is_module_level_picklable(self):
+        clone = pickle.loads(pickle.dumps(run_cell))
+        assert clone is run_cell
+
+    def test_specs_thunk_round_trips(self):
+        # The historical closure thunk could never do this; the
+        # module-level callable makes DBO104 safety structural.
+        thunk = _specs_factory(_tiny_cells()[0])
+        clone = pickle.loads(pickle.dumps(thunk))
+        assert clone == thunk
+        specs = clone()
+        assert len(specs) == 2
+
+    def test_unknown_scenario_still_validates_eagerly(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            _specs_factory(CellSpec(scheme="dbo", seed=1, scenario="lunar"))
+
+    def test_payload_tuple_round_trips(self):
+        # Exactly what parallel_map ships to a worker: (fn, index, item).
+        payload = (run_cell, 0, _tiny_cells()[0])
+        fn, index, item = pickle.loads(pickle.dumps(payload))
+        assert fn is run_cell and index == 0 and item == payload[2]
+
+
+class TestSpawnEquality:
+    def test_spawn_jobs2_matches_serial(self):
+        cells = _tiny_cells()
+        serial = run_cells(cells, jobs=1)
+        spawned = run_cells(cells, jobs=2, mp_context="spawn")
+        assert all(r.ok for r in serial), [r.error for r in serial]
+        assert [r.to_dict() for r in spawned] == [r.to_dict() for r in serial]
+
+    def test_spawn_captures_worker_errors_structurally(self):
+        cells = [CellSpec(scheme="nope", seed=1, participants=2, duration=500.0)]
+        (result,) = run_cells(cells, jobs=2, mp_context="spawn")
+        # jobs=2 with a single cell runs serially; force the pool path via
+        # parallel_map directly to cross the real boundary.
+        outcomes = parallel_map(run_cell, cells * 2, jobs=2, mp_context="spawn")
+        assert not result.ok
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert outcome.exc_type == "UnknownSchemeError"
+            assert "nope" in outcome.error
+            assert outcome.traceback and "UnknownSchemeError" in outcome.traceback
