@@ -25,7 +25,8 @@ from repro.exchange.feed import FeedConfig
 from repro.exchange.messages import TradeOrder
 from repro.metrics.records import RunResult, TradeRecord
 from repro.net.latency import LatencyModel, UniformJitterLatency
-from repro.net.link import Link, LossyLink
+from repro.net.link import DeliveryHandler, Link, LossyLink
+from repro.net.transport import Channel, MessageKey, Transport
 from repro.participants.mp import MarketParticipant
 from repro.participants.response_time import ResponseTimeModel, UniformResponseTime
 from repro.participants.strategies import SpeedRacer, Strategy
@@ -184,6 +185,9 @@ class BaseDeployment:
         # Every link built via _make_link, for loss/partition accounting
         # (and so the fault injector can find a participant's legs).
         self._links: List[Link] = []
+        # The message plane: every point-to-point path is a named channel
+        # here, addressable by the fault injector and reported per run.
+        self.transport = Transport()
         self._built = False
 
     # ------------------------------------------------------------------
@@ -213,10 +217,15 @@ class BaseDeployment:
 
         self.stream_merger = StreamMerger(self.ces)
         for name, model, mean_interval, seed in self._external_configs:
-            link = Link(self.engine, model, handler=self.stream_merger.on_event,
-                        name=f"ext-{name}")
+            channel = self._open_control_channel(
+                f"ext-{name}",
+                model,
+                source=name,
+                destination="ces",
+                handler=self.stream_merger.on_event,
+            )
             source = ExternalSource(
-                self.engine, name, link, mean_interval=mean_interval, seed=seed
+                self.engine, name, channel, mean_interval=mean_interval, seed=seed
             )
             source.start(start_time=0.0, stop_time=duration)
             self.external_sources.append(source)
@@ -261,6 +270,12 @@ class BaseDeployment:
         burst = sum(link.packets_dropped_in_burst for link in self._links)
         if burst:
             counters["packets_dropped_in_burst"] = float(burst)
+        duplicated = sum(channel.messages_duplicated for channel in self.transport)
+        if duplicated:
+            counters["messages_duplicated"] = float(duplicated)
+        deduped = sum(channel.messages_deduped for channel in self.transport)
+        if deduped:
+            counters["messages_deduped"] = float(deduped)
         return counters
 
     # ------------------------------------------------------------------
@@ -299,6 +314,63 @@ class BaseDeployment:
             link = Link(self.engine, model, name=name)
         self._links.append(link)
         return link
+
+    def _open_channel(
+        self,
+        model: LatencyModel,
+        spec: NetworkSpec,
+        name: str,
+        seed_salt: int,
+        direction: str = "forward",
+        source: str = "",
+        destination: str = "",
+        dedup_key: Optional[MessageKey] = None,
+        handler: Optional[DeliveryHandler] = None,
+    ) -> Channel:
+        """A named channel over a participant leg built by :meth:`_make_link`.
+
+        The underlying link still lands in ``self._links`` (loss accounting
+        and legacy injector addressing by link name are unchanged); the
+        channel adds message odometers, the dedup hook, and fault
+        addressability by name.
+        """
+        link = self._make_link(model, spec, name, seed_salt, direction=direction)
+        return self.transport.open_channel(
+            name,
+            link,
+            source=source,
+            destination=destination,
+            dedup_key=dedup_key,
+            handler=handler,
+        )
+
+    def _open_control_channel(
+        self,
+        name: str,
+        model: LatencyModel,
+        source: str = "",
+        destination: str = "",
+        dedup_key: Optional[MessageKey] = None,
+        handler: Optional[DeliveryHandler] = None,
+        priority: int = 0,
+    ) -> Channel:
+        """A named channel over a fresh loss-free control link.
+
+        Control traffic (acks, shard hops, adoption, egress) has no
+        :class:`NetworkSpec` leg of its own: it rides a plain FIFO link
+        with the given latency model.  The link is registered in
+        ``self._links`` so partition/burst faults account uniformly.
+        """
+        link = Link(self.engine, model, name=name, priority=priority)
+        self._links.append(link)
+        return self.transport.open_channel(
+            name,
+            link,
+            source=source,
+            destination=destination,
+            dedup_key=dedup_key,
+            handler=handler,
+        )
 
     def _wire_mp_submitter(self, index: int, rb_intercept: Callable[[TradeOrder], None]) -> None:
         """Connect an MP's trade output to its RB, honouring mp_to_rb delay."""
@@ -378,4 +450,5 @@ class BaseDeployment:
             reverse_latency_at=reverse_latency_at,
             duration=duration,
             counters=counters,
+            channels=self.transport.counters(),
         )

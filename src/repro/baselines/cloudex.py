@@ -160,19 +160,33 @@ class CloudExDeployment(BaseDeployment):
             rb.connect_mp(mp.on_data)
             self.rbs.append(rb)
 
-            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
-            forward.connect(rb.on_point)
-            if hasattr(forward, "loss_handler"):
-                forward.loss_handler = rb.on_point
+            forward = self._open_channel(
+                spec.forward,
+                spec,
+                name=f"fwd-{mp_id}",
+                seed_salt=2 * index,
+                source="ces",
+                destination=mp_id,
+                dedup_key=lambda point: point.point_id,
+                handler=rb.on_point,
+            )
+            forward.set_loss_handler(rb.on_point)
             self.multicast.add_member(mp_id, forward)
 
-            reverse = self._make_link(
-                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+            # Reverse messages are (order, sync stamp) tuples; the order
+            # key dedups because the ME rejects duplicate submissions.
+            reverse = self._open_channel(
+                spec.reverse,
+                spec,
+                name=f"rev-{mp_id}",
+                seed_salt=2 * index + 1,
                 direction="reverse",
+                source=mp_id,
+                destination="ces",
+                dedup_key=lambda stamped: stamped[0].key,
+                handler=self.ob.on_trade,
             )
-            reverse.connect(self.ob.on_trade)
-            if hasattr(reverse, "loss_handler"):
-                reverse.loss_handler = self.ob.on_trade
+            reverse.set_loss_handler(self.ob.on_trade)
 
             mp_clock = self._make_sync_clock(1000 + index)
 

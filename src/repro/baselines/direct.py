@@ -33,8 +33,6 @@ class DirectDeployment(BaseDeployment):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
 
-            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
-
             def on_point(
                 point: MarketDataPoint,
                 send_time: float,
@@ -45,23 +43,40 @@ class DirectDeployment(BaseDeployment):
                 self._arrivals[mp_id][point.point_id] = arrival_time
                 mp.on_data((point,), arrival_time)
 
-            forward.connect(on_point)
-            if hasattr(forward, "loss_handler"):
-                # A lost point is recovered out-of-band and handed over late.
-                forward.loss_handler = on_point
+            # Point ids are unique, so channel dedup absorbs at-least-once
+            # delivery without the MP seeing the same point twice.
+            forward = self._open_channel(
+                spec.forward,
+                spec,
+                name=f"fwd-{mp_id}",
+                seed_salt=2 * index,
+                source="ces",
+                destination=mp_id,
+                dedup_key=lambda point: point.point_id,
+                handler=on_point,
+            )
+            # A lost point is recovered out-of-band and handed over late.
+            forward.set_loss_handler(on_point)
             self.multicast.add_member(mp_id, forward)
 
-            reverse = self._make_link(
-                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+            # The FCFS sequencer forwards straight into the matching
+            # engine, which rejects duplicate keys — dedup at the channel.
+            reverse = self._open_channel(
+                spec.reverse,
+                spec,
+                name=f"rev-{mp_id}",
+                seed_salt=2 * index + 1,
                 direction="reverse",
+                source=mp_id,
+                destination="ces",
+                dedup_key=lambda order: order.key,
+                handler=lambda order, send_time, arrival_time: self.sequencer.on_trade(
+                    order, arrival_time
+                ),
             )
-            reverse.connect(
+            reverse.set_loss_handler(
                 lambda order, send_time, arrival_time: self.sequencer.on_trade(order, arrival_time)
             )
-            if hasattr(reverse, "loss_handler"):
-                reverse.loss_handler = (
-                    lambda order, send_time, arrival_time: self.sequencer.on_trade(order, arrival_time)
-                )
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         self.ces.set_distributor(self._publish_point)

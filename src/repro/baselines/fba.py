@@ -58,8 +58,6 @@ class FBADeployment(BaseDeployment):
         for index, spec in enumerate(self.specs):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
-            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
-
             def on_points(
                 points: Tuple[MarketDataPoint, ...],
                 send_time: float,
@@ -71,18 +69,35 @@ class FBADeployment(BaseDeployment):
                     self._arrivals[mp_id][point.point_id] = arrival_time
                 mp.on_data(points, arrival_time)
 
-            forward.connect(on_points)
-            if hasattr(forward, "loss_handler"):
-                forward.loss_handler = on_points
+            # Each auction publishes one point tuple; its id span is a
+            # unique identity for channel-level dedup.
+            forward = self._open_channel(
+                spec.forward,
+                spec,
+                name=f"fwd-{mp_id}",
+                seed_salt=2 * index,
+                source="ces",
+                destination=mp_id,
+                dedup_key=lambda points: (points[0].point_id, points[-1].point_id),
+                handler=on_points,
+            )
+            forward.set_loss_handler(on_points)
             self.multicast.add_member(mp_id, forward)
 
-            reverse = self._make_link(
-                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+            # A duplicated trade would reach the matching engine twice at
+            # the next auction — dedup by order key at the channel.
+            reverse = self._open_channel(
+                spec.reverse,
+                spec,
+                name=f"rev-{mp_id}",
+                seed_salt=2 * index + 1,
                 direction="reverse",
+                source=mp_id,
+                destination="ces",
+                dedup_key=lambda order: order.key,
+                handler=lambda order, s, a: self._pending_trades.append(order),
             )
-            reverse.connect(lambda order, s, a: self._pending_trades.append(order))
-            if hasattr(reverse, "loss_handler"):
-                reverse.loss_handler = lambda order, s, a: self._pending_trades.append(order)
+            reverse.set_loss_handler(lambda order, s, a: self._pending_trades.append(order))
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         # Late-bound lambda: _auction swaps the pending list out, so the

@@ -52,8 +52,6 @@ class LibraDeployment(BaseDeployment):
         for index, spec in enumerate(self.specs):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
-            forward = self._make_link(spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index)
-
             def on_point(
                 point: MarketDataPoint,
                 send_time: float,
@@ -64,18 +62,33 @@ class LibraDeployment(BaseDeployment):
                 self._arrivals[mp_id][point.point_id] = arrival_time
                 mp.on_data((point,), arrival_time)
 
-            forward.connect(on_point)
-            if hasattr(forward, "loss_handler"):
-                forward.loss_handler = on_point
+            forward = self._open_channel(
+                spec.forward,
+                spec,
+                name=f"fwd-{mp_id}",
+                seed_salt=2 * index,
+                source="ces",
+                destination=mp_id,
+                dedup_key=lambda point: point.point_id,
+                handler=on_point,
+            )
+            forward.set_loss_handler(on_point)
             self.multicast.add_member(mp_id, forward)
 
-            reverse = self._make_link(
-                spec.reverse, spec, name=f"rev-{mp_id}", seed_salt=2 * index + 1,
+            # A duplicated trade would hit the matching engine twice at
+            # window close — dedup by order key at the channel.
+            reverse = self._open_channel(
+                spec.reverse,
+                spec,
+                name=f"rev-{mp_id}",
+                seed_salt=2 * index + 1,
                 direction="reverse",
+                source=mp_id,
+                destination="ces",
+                dedup_key=lambda order: order.key,
+                handler=lambda order, s, a: self._window_trades.append(order),
             )
-            reverse.connect(lambda order, s, a: self._window_trades.append(order))
-            if hasattr(reverse, "loss_handler"):
-                reverse.loss_handler = lambda order, s, a: self._window_trades.append(order)
+            reverse.set_loss_handler(lambda order, s, a: self._window_trades.append(order))
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         self.ces.set_distributor(self._publish_point)

@@ -185,6 +185,11 @@ class ShardOB:
         deployment.  Trades and summaries share the link, preserving the
         in-order property the master's release rule depends on.  Omitted
         (threads on one host), the hop is a direct call.
+    transport:
+        Optional :class:`~repro.net.transport.Transport`: when given (and
+        the hop is a real link), the hop is registered as the channel
+        ``"{shard_id}->master"`` so faults can address it by name and its
+        message odometers appear in the run's channel report.
     """
 
     def __init__(
@@ -197,6 +202,7 @@ class ShardOB:
         latest_point_id: Optional[Callable[[], int]] = None,
         engine=None,
         hop_latency=None,
+        transport=None,
     ) -> None:
         self.shard_id = shard_id
         self.master = master
@@ -214,12 +220,20 @@ class ShardOB:
                 raise ValueError("a hop_latency needs an engine")
             from repro.net.link import Link
 
-            self._hop_link = Link(
-                engine,
-                hop_latency,
-                handler=self._on_hop_arrival,
-                name=f"{shard_id}->master",
-            )
+            link = Link(engine, hop_latency, name=f"{shard_id}->master")
+            if transport is not None:
+                # Master-side key-dedup owns at-least-once semantics, so
+                # the channel itself carries no dedup hook.
+                self._hop_link = transport.open_channel(
+                    link.name,
+                    link,
+                    source=shard_id,
+                    destination="master-ob",
+                    handler=self._on_hop_arrival,
+                )
+            else:
+                link.connect(self._on_hop_arrival)
+                self._hop_link = link
 
     def _on_hop_arrival(self, message, send_time: float, arrival_time: float) -> None:
         kind, payload = message
@@ -288,6 +302,7 @@ def build_sharded_ob(
     latest_point_id: Optional[Callable[[], int]] = None,
     engine=None,
     hop_latency=None,
+    transport=None,
 ) -> Tuple[MasterOB, List[ShardOB], Dict[str, ShardOB]]:
     """Partition participants round-robin across ``n_shards`` shards.
 
@@ -312,6 +327,7 @@ def build_sharded_ob(
             latest_point_id=latest_point_id,
             engine=engine,
             hop_latency=hop_latency,
+            transport=transport,
         )
         for index in range(n_shards)
     ]

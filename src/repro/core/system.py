@@ -26,8 +26,9 @@ from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
 from repro.core.sync_delivery import SyncAssistedReleaseBuffer
 from repro.exchange.feed import FeedConfig
 from repro.exchange.messages import Heartbeat, MarketDataBatch, TaggedTrade
-from repro.net.link import Link
+from repro.net.latency import ConstantLatency
 from repro.net.multicast import MulticastGroup
+from repro.net.transport import Channel
 from repro.participants.response_time import ResponseTimeModel
 from repro.participants.strategies import Strategy
 from repro.sim.runtime import Runtime
@@ -134,7 +135,14 @@ class DBODeployment(BaseDeployment):
         self.shards: List[ShardOB] = []
         self._shard_routing: Dict[str, ShardOB] = {}
         self.multicast = MulticastGroup()
-        self.reverse_links: Dict[str, Link] = {}
+        # Message plane: per-MP reverse channels plus the control channels
+        # (acks, standby adoption, egress) — all addressable by name via
+        # ``self.transport`` for fault injection.
+        self.reverse_channels: Dict[str, Channel] = {}
+        self._ack_channels: Dict[str, Channel] = {}
+        self._ob_adopt_channel: Optional[Channel] = None
+        self._egress_channel: Optional[Channel] = None
+        self.egress_delivered: List = []
         self.batcher: Optional[Batcher] = None
         # ----- recovery-protocol state (fault-injection support) --------
         # When set, the OB acks each release back to the originating RB
@@ -186,15 +194,12 @@ class DBODeployment(BaseDeployment):
                 observer(tagged, now)
             if self.retransmit_policy is not None:
                 # Ack the release back to the originating RB so it stops
-                # guarding the trade; the ack path has its own latency.
-                rb = self._rb_by_id.get(tagged.trade.mp_id)
-                if rb is not None:
-                    self.engine.schedule_at(
-                        now + self.retransmit_policy.ack_latency,
-                        rb.on_ack,
-                        priority=5,
-                        args=(tagged.trade.key,),
-                    )
+                # guarding the trade.  The ack is a real message on a
+                # named channel ("ack-{mp}"), so burst loss and partitions
+                # can eat it — which is what drives retransmission.
+                ack = self._ack_channels.get(tagged.trade.mp_id)
+                if ack is not None:
+                    ack.send(tagged.trade.key, send_time=now)
 
         self._release_sink = release_sink
 
@@ -207,6 +212,18 @@ class DBODeployment(BaseDeployment):
                 latest_point_id=lambda: self.ces.points_generated - 1,
                 incremental_extremes=self.ob_incremental_extremes,
             )
+            # Standby adoption (release log + counters) rides a channel so
+            # it is observable/faultable like any other control traffic.
+            # Priority -1 at zero latency delivers before every same-time
+            # data event — equivalent to the old synchronous hand-off.
+            self._ob_adopt_channel = self._open_control_channel(
+                "ob-adopt",
+                ConstantLatency(0.0),
+                source="ob",
+                destination="standby-ob",
+                handler=self._on_ob_adoption,
+                priority=-1,
+            )
         else:
             self.master_ob, self.shards, self._shard_routing = build_sharded_ob(
                 self.mp_ids,
@@ -217,6 +234,7 @@ class DBODeployment(BaseDeployment):
                 latest_point_id=lambda: self.ces.points_generated - 1,
                 engine=self.engine,
                 hop_latency=self.shard_master_latency,
+                transport=self.transport,
             )
 
         # Emit-on-determination needs a known cadence; Poisson feeds fall
@@ -241,6 +259,21 @@ class DBODeployment(BaseDeployment):
 
         if self.enable_egress_gateway:
             self.egress_gateway = EgressGateway(list(self.mp_ids))
+            # Cleared outbound data leaves the cloud over a real channel
+            # ("egress"), so a stalled-then-resumed gateway's burst is
+            # visible (and faultable) like any other traffic.
+            self._egress_channel = self._open_control_channel(
+                "egress",
+                ConstantLatency(0.0),
+                source="gateway",
+                destination="external",
+                handler=lambda message, sent, arrival: self.egress_delivered.append(
+                    (message, arrival)
+                ),
+            )
+            self.egress_gateway.set_sink(
+                lambda message, now: self._egress_channel.send(message, send_time=now)
+            )
 
         for index, spec in enumerate(self.specs):
             mp_id = self.mp_ids[index]
@@ -277,28 +310,52 @@ class DBODeployment(BaseDeployment):
             self.release_buffers.append(rb)
             self._rb_by_id[mp_id] = rb
 
-            forward = self._make_link(
-                spec.forward, spec, name=f"fwd-{mp_id}", seed_salt=2 * index
+            # Forward data path: CES batches to this RB.  Batch ids are
+            # unique, so channel-level dedup makes duplicate delivery a
+            # no-op for the data plane.
+            forward = self._open_channel(
+                spec.forward,
+                spec,
+                name=f"fwd-{mp_id}",
+                seed_salt=2 * index,
+                source="ces",
+                destination=mp_id,
+                dedup_key=lambda batch: batch.batch_id,
+                handler=rb.on_batch,
             )
-            forward.connect(rb.on_batch)
-            if hasattr(forward, "loss_handler"):
-                forward.loss_handler = rb.on_recovered_batch
+            forward.set_loss_handler(rb.on_recovered_batch)
             self.multicast.add_member(mp_id, forward)
 
-            reverse = self._make_link(
+            # Reverse path: trades and heartbeats share one FIFO channel
+            # (that sharing is what makes a heartbeat a progress proof).
+            # No channel dedup — the OB's key-dedup owns at-least-once
+            # semantics here, and heartbeats are idempotent.
+            reverse = self._open_channel(
                 spec.reverse,
                 spec,
                 name=f"rev-{mp_id}",
                 seed_salt=2 * index + 1,
                 direction="reverse",
+                source=mp_id,
+                destination="ob",
+                handler=self._make_ob_dispatcher(mp_id),
             )
-            self.reverse_links[mp_id] = reverse
-            reverse.connect(self._make_ob_dispatcher(mp_id))
+            self.reverse_channels[mp_id] = reverse
 
-            rb.connect_ob(
-                trade_sink=lambda tagged, link=reverse: link.send(tagged),
-                heartbeat_sink=lambda hb, link=reverse: link.send(hb),
-            )
+            rb.connect_ob(trade_sink=reverse.send, heartbeat_sink=reverse.send)
+
+            if self.retransmit_policy is not None:
+                # OB→RB acks ride their own constant-latency channel at
+                # delivery priority 5, matching the historical scheduled-
+                # callback ordering against same-time data events.
+                self._ack_channels[mp_id] = self._open_control_channel(
+                    f"ack-{mp_id}",
+                    ConstantLatency(self.retransmit_policy.ack_latency),
+                    source="ob",
+                    destination=mp_id,
+                    handler=lambda key, sent, arrival, rb=rb: rb.on_ack(key),
+                    priority=5,
+                )
             mp_handler = self.participants[index].on_data
             mp_submitter = rb.on_mp_trade
             if self.egress_gateway is not None:
@@ -416,11 +473,23 @@ class DBODeployment(BaseDeployment):
             latest_point_id=lambda: self.ces.points_generated - 1,
             incremental_extremes=self.ob_incremental_extremes,
         )
-        standby.adopt_release_log(old.released_keys)
-        standby.carry_over_counters(old)
+        # The routing swap is immediate (dispatchers resolve per message);
+        # the durable state hand-off (release log + counters) travels on
+        # the "ob-adopt" channel, delivered ahead of any same-time data.
         self.ordering_buffer = standby
+        if self._ob_adopt_channel is not None:
+            self._ob_adopt_channel.send((old, standby), send_time=self.engine.now)
+        else:  # pragma: no cover - _build always opens the channel
+            standby.adopt_release_log(old.released_keys)
+            standby.carry_over_counters(old)
         self.ob_failovers += 1
         return lost
+
+    def _on_ob_adoption(self, handoff, send_time: float, arrival_time: float) -> None:
+        """Deliver the crashed OB's durable state to its standby."""
+        old, standby = handoff
+        standby.adopt_release_log(old.released_keys)
+        standby.carry_over_counters(old)
 
     def fail_shard(self, shard_id: str) -> int:
         """Fail-stop one OB shard and reroute its participants.

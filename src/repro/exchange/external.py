@@ -33,7 +33,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.exchange.ces import CentralExchangeServer
 from repro.exchange.messages import MarketDataPoint
-from repro.net.link import Link
+from repro.net.multicast import Sendable
 from repro.sim.engine import EventEngine
 from repro.sim.randomness import SubstreamCounter
 
@@ -80,8 +80,8 @@ class ExternalSource:
     name:
         Source label (embedded in events).
     link:
-        Link from the source to the CES (internet-grade latency models
-        welcome: ms-scale jitter is the paper's stated expectation).
+        Link or channel from the source to the CES (internet-grade latency
+        models welcome: ms-scale jitter is the paper's stated expectation).
     mean_interval:
         Mean inter-event time in µs.
     seed:
@@ -92,7 +92,7 @@ class ExternalSource:
         self,
         engine: EventEngine,
         name: str,
-        link: Link,
+        link: Sendable,
         mean_interval: float,
         seed: int = 0,
         payload_factory: Optional[Callable[[int], Any]] = None,

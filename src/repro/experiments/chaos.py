@@ -129,6 +129,47 @@ def _plan_gateway_stall(duration: float, n: int) -> FaultSchedule:
     )
 
 
+def _plan_ack_loss(duration: float, n: int) -> FaultSchedule:
+    """Every OB→RB ack channel burst-drops mid-run (DBO only).
+
+    Unacked trades hit their retransmit timeout and are resent with
+    their original stamps; the OB's key-dedup ignores the copies, so the
+    matching-engine ordering must stay byte-identical to a clean run
+    while ``acks_received`` falls below the release count.
+    """
+    return FaultSchedule.of(
+        *[
+            FaultSpec(
+                kind="link_burst_loss", at=0.2 * duration, duration=0.35 * duration,
+                channel=f"ack-mp{index}", magnitude=0.9, seed=11 + index,
+            )
+            for index in range(n)
+        ],
+        name="ack-loss",
+    )
+
+
+def _plan_dup_delivery(duration: float, n: int) -> FaultSchedule:
+    """Reverse and forward channels turn at-least-once for a window.
+
+    Receivers must absorb the duplicates — the OB (or the channel's own
+    dedup hook) by message identity — so the trade ordering is unchanged
+    while the per-channel duplicated/deduped odometers move.
+    """
+    second = "mp" + str(min(1, n - 1))
+    return FaultSchedule.of(
+        FaultSpec(
+            kind="duplicate_delivery", at=0.2 * duration, duration=0.4 * duration,
+            channel="rev-mp0", magnitude=0.6, seed=5,
+        ),
+        FaultSpec(
+            kind="duplicate_delivery", at=0.3 * duration, duration=0.35 * duration,
+            channel=f"fwd-{second}", magnitude=0.4, seed=6,
+        ),
+        name="dup-delivery",
+    )
+
+
 CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
     "link-flaky": _plan_link_flaky,
     "latency-spike": _plan_latency_spike,
@@ -137,6 +178,8 @@ CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
     "ob-failover": _plan_ob_failover,
     "shard-loss": _plan_shard_loss,
     "gateway-stall": _plan_gateway_stall,
+    "ack-loss": _plan_ack_loss,
+    "dup-delivery": _plan_dup_delivery,
 }
 
 
@@ -212,6 +255,15 @@ def run_chaos(
         kwargs.setdefault("n_ob_shards", 2)
     if "gateway_stall" in kinds:
         kwargs.setdefault("enable_egress_gateway", True)
+    if scheme == "dbo" and any(
+        fault.channel is not None and fault.channel.startswith("ack-")
+        for fault in plan
+    ):
+        # Ack channels only exist when acks are on; losing them is only
+        # interesting if unacked trades actually get resent.
+        from repro.core.release_buffer import RetransmitPolicy
+
+        kwargs.setdefault("retransmit_policy", RetransmitPolicy())
 
     clean_deployment = build_deployment(scheme, specs_factory(), seed=seed, **kwargs)
     clean_auditor = InvariantAuditor(stall_timeout=stall_timeout)

@@ -12,7 +12,7 @@ The runner is the one-stop API the benchmarks, tables and examples use:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.base import BaseDeployment, NetworkSpec
@@ -69,6 +69,7 @@ class SchemeSummary:
     max_rtt: Optional[LatencyStats]
     completion: float
     counters: Dict[str, float]
+    channels: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def table_row(self) -> List[object]:
         return [
@@ -93,6 +94,7 @@ def summarize(result: RunResult, with_bound: bool = True) -> SchemeSummary:
         max_rtt=bound,
         completion=result.completion_ratio(),
         counters=dict(result.counters),
+        channels={name: dict(c) for name, c in sorted(result.channels.items())},
     )
 
 

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Tuple
 from repro.faults.plan import FaultSchedule, FaultSpec
 from repro.net.latency import DegradedLatency
 from repro.net.link import Link
+from repro.net.transport import Channel
 
 __all__ = ["FaultInjector"]
 
@@ -60,7 +61,9 @@ class FaultInjector:
         self.deployment = deployment
         self._validate(deployment)
         for fault in self.schedule:
-            if fault.kind == "latency_degradation":
+            # Channel-addressed degradations wrap the channel's live
+            # latency model at fire time instead (the channel does it).
+            if fault.kind == "latency_degradation" and fault.channel is None:
                 self._wrap_latency_models(deployment, fault)
         engine = deployment.engine
         for fault in self.schedule:
@@ -75,7 +78,23 @@ class FaultInjector:
         mp_ids = set(deployment.mp_ids)
         for fault in self.schedule:
             kind = fault.kind
-            if kind in {"link_burst_loss", "latency_degradation", "partition", "rb_crash"}:
+            if fault.channel is not None:
+                # Channel names resolve at fire time (deployments build
+                # their channels lazily inside run()); here we can only
+                # require a message plane to exist at all.
+                if getattr(deployment, "transport", None) is None:
+                    raise ValueError(
+                        f"{kind} addresses channel {fault.channel!r} but the "
+                        "deployment has no transport"
+                    )
+                continue
+            if kind in {
+                "link_burst_loss",
+                "latency_degradation",
+                "partition",
+                "rb_crash",
+                "duplicate_delivery",
+            }:
                 if fault.target not in mp_ids:
                     raise ValueError(
                         f"{kind} targets unknown participant {fault.target!r}"
@@ -125,34 +144,65 @@ class FaultInjector:
         )
         return [self._find_link(fault.target, direction) for direction in directions]
 
-    def _record(self, action: str, fault: FaultSpec) -> None:
-        self.log.append(
-            {
-                "time": self.deployment.engine.now,
-                "action": action,
-                "kind": fault.kind,
-                "target": fault.target,
-            }
+    def _channels_for(self, fault: FaultSpec) -> List[Channel]:
+        """Resolve the channels a channel-capable fault addresses.
+
+        ``channel`` names one directly; ``target`` + ``direction`` maps
+        to the participant's ``fwd-{mp}`` / ``rev-{mp}`` data channels.
+        """
+        transport = self.deployment.transport
+        if fault.channel is not None:
+            return [transport.channel(fault.channel)]
+        prefixes = (
+            ("fwd", "rev") if fault.direction == "both"
+            else (("fwd",) if fault.direction == "forward" else ("rev",))
         )
+        return [transport.channel(f"{prefix}-{fault.target}") for prefix in prefixes]
+
+    def _record(self, action: str, fault: FaultSpec) -> None:
+        entry = {
+            "time": self.deployment.engine.now,
+            "action": action,
+            "kind": fault.kind,
+            "target": fault.target,
+        }
+        if fault.channel is not None:
+            entry["channel"] = fault.channel
+        self.log.append(entry)
 
     # ------------------------------------------------------------------
     def _fire(self, fault: FaultSpec) -> None:
         deployment = self.deployment
         kind = fault.kind
         if kind == "link_burst_loss":
-            for link in self._links_for(fault):
-                link.start_loss_burst(fault.magnitude, seed=fault.seed)
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.start_loss_burst(fault.magnitude, seed=fault.seed)
+            else:
+                for link in self._links_for(fault):
+                    link.start_loss_burst(fault.magnitude, seed=fault.seed)
         elif kind == "partition":
-            for link in self._links_for(fault):
-                link.set_blackhole(True)
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.set_blackhole(True)
+            else:
+                for link in self._links_for(fault):
+                    link.set_blackhole(True)
+        elif kind == "duplicate_delivery":
+            for channel in self._channels_for(fault):
+                channel.start_duplication(fault.magnitude, seed=fault.seed)
         elif kind == "latency_degradation":
-            directions = (
-                ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
-            )
-            for direction in directions:
-                self._degraded[(fault.target, direction)].set_degradation(
-                    extra=fault.magnitude, factor=fault.factor
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.degrade(extra=fault.magnitude, factor=fault.factor)
+            else:
+                directions = (
+                    ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
                 )
+                for direction in directions:
+                    self._degraded[(fault.target, direction)].set_degradation(
+                        extra=fault.magnitude, factor=fault.factor
+                    )
         elif kind == "rb_crash":
             deployment._rb_by_id[fault.target].crash()
         elif kind == "ob_failover":
@@ -170,17 +220,32 @@ class FaultInjector:
         deployment = self.deployment
         kind = fault.kind
         if kind == "link_burst_loss":
-            for link in self._links_for(fault):
-                link.stop_loss_burst()
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.stop_loss_burst()
+            else:
+                for link in self._links_for(fault):
+                    link.stop_loss_burst()
         elif kind == "partition":
-            for link in self._links_for(fault):
-                link.set_blackhole(False)
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.set_blackhole(False)
+            else:
+                for link in self._links_for(fault):
+                    link.set_blackhole(False)
+        elif kind == "duplicate_delivery":
+            for channel in self._channels_for(fault):
+                channel.stop_duplication()
         elif kind == "latency_degradation":
-            directions = (
-                ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
-            )
-            for direction in directions:
-                self._degraded[(fault.target, direction)].clear()
+            if fault.channel is not None:
+                for channel in self._channels_for(fault):
+                    channel.clear_degradation()
+            else:
+                directions = (
+                    ("forward", "reverse") if fault.direction == "both" else (fault.direction,)
+                )
+                for direction in directions:
+                    self._degraded[(fault.target, direction)].clear()
         elif kind == "rb_crash":
             deployment._rb_by_id[fault.target].restart()
         elif kind == "gateway_stall":

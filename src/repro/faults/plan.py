@@ -30,6 +30,19 @@ Supported kinds
 ``gateway_stall``
     The egress gateway stops draining for ``duration`` µs (process
     hang): outbound data waits, nothing leaks early.
+``duplicate_delivery``
+    The addressed channel turns at-least-once for ``duration`` µs: each
+    message is delivered twice with probability ``magnitude`` (retry
+    storms, misbehaving middleboxes).  Receivers must dedup — the OB by
+    trade key, data channels by point/batch identity.
+
+Addressing
+----------
+Link kinds historically address a participant's leg via ``target`` +
+``direction``.  Any link kind (and ``duplicate_delivery``) can instead
+name one message-plane channel directly via ``channel`` — e.g.
+``"ack-mp3"``, ``"shard-0->master"``, ``"egress"`` — reaching control
+paths that have no participant leg.
 """
 
 from __future__ import annotations
@@ -49,14 +62,19 @@ FAULT_KINDS = frozenset(
         "ob_failover",
         "shard_failure",
         "gateway_stall",
+        "duplicate_delivery",
     }
 )
 
 # Kinds that act on one participant's network leg (need target+direction).
 _LINK_KINDS = frozenset({"link_burst_loss", "latency_degradation", "partition"})
+# Kinds that may address a message-plane channel by name instead.
+_CHANNEL_KINDS = _LINK_KINDS | {"duplicate_delivery"}
 # Kinds whose duration is mandatory (a permanent variant is meaningless
 # or would trivially stall the run).
-_DURATION_REQUIRED = frozenset({"link_burst_loss", "partition", "gateway_stall"})
+_DURATION_REQUIRED = frozenset(
+    {"link_burst_loss", "partition", "gateway_stall", "duplicate_delivery"}
+)
 _DIRECTIONS = ("forward", "reverse", "both")
 
 
@@ -85,7 +103,11 @@ class FaultSpec:
         Which leg a link fault hits: ``forward`` (market data),
         ``reverse`` (trades/heartbeats), or ``both``.
     seed:
-        Per-fault randomness salt (burst-loss draws).
+        Per-fault randomness salt (burst-loss / duplication draws).
+    channel:
+        Message-plane channel name (e.g. ``"ack-mp0"``); an alternative
+        address for link kinds and the only address for
+        ``duplicate_delivery`` control-path faults.
     """
 
     kind: str
@@ -96,6 +118,7 @@ class FaultSpec:
     factor: float = 1.0
     direction: str = "forward"
     seed: int = 0
+    channel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -110,13 +133,22 @@ class FaultSpec:
             raise ValueError(f"{self.kind} requires a duration")
         if self.kind in {"ob_failover", "shard_failure"} and self.duration is not None:
             raise ValueError(f"{self.kind} is instantaneous; it takes no duration")
-        if self.kind in _LINK_KINDS or self.kind in {"rb_crash", "shard_failure"}:
+        if self.channel is not None and self.kind not in _CHANNEL_KINDS:
+            raise ValueError(f"{self.kind} does not address a channel")
+        if self.channel is not None and self.target is not None:
+            raise ValueError("give either a channel or a target, not both")
+        if self.kind in _CHANNEL_KINDS:
+            if not self.target and not self.channel:
+                raise ValueError(f"{self.kind} requires a target or a channel")
+        elif self.kind in {"rb_crash", "shard_failure"}:
             if not self.target:
                 raise ValueError(f"{self.kind} requires a target")
-        if self.kind in _LINK_KINDS and self.direction not in _DIRECTIONS:
+        if self.kind in _CHANNEL_KINDS and self.direction not in _DIRECTIONS:
             raise ValueError(f"direction must be one of {_DIRECTIONS}")
         if self.kind == "link_burst_loss" and not 0.0 < self.magnitude <= 1.0:
             raise ValueError("link_burst_loss needs magnitude in (0, 1]")
+        if self.kind == "duplicate_delivery" and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError("duplicate_delivery needs magnitude in (0, 1]")
         if self.kind == "latency_degradation":
             if self.magnitude < 0:
                 raise ValueError("latency_degradation magnitude (extra µs) must be >= 0")
@@ -146,11 +178,16 @@ class FaultSpec:
             out["direction"] = self.direction
         if self.seed:
             out["seed"] = self.seed
+        if self.channel is not None:
+            out["channel"] = self.channel
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
-        allowed = {"kind", "at", "target", "duration", "magnitude", "factor", "direction", "seed"}
+        allowed = {
+            "kind", "at", "target", "duration", "magnitude", "factor",
+            "direction", "seed", "channel",
+        }
         unknown = set(data) - allowed
         if unknown:
             raise ValueError(f"unknown fault fields: {sorted(unknown)}")

@@ -71,6 +71,10 @@ class RunResult:
     counters:
         Scheme-specific odometers (heartbeats processed, max queue depth,
         stragglers, ...), for reports and ablation benchmarks.
+    channels:
+        Per-channel message-plane odometers: ``{channel name: {sent,
+        delivered, dropped, duplicated, deduped, [lost]}}`` from the
+        deployment's :class:`~repro.net.transport.Transport`.
     """
 
     scheme: str
@@ -82,6 +86,7 @@ class RunResult:
     reverse_latency_at: Optional[Callable[[str, float], float]] = None
     duration: float = 0.0
     counters: Dict[str, float] = field(default_factory=dict)
+    channels: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property

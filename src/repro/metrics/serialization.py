@@ -39,6 +39,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "scheme": result.scheme,
         "duration": result.duration,
         "counters": dict(result.counters),
+        "channels": {name: dict(c) for name, c in sorted(result.channels.items())},
         "trades": [
             {
                 "mp_id": t.mp_id,
@@ -106,6 +107,10 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         reverse_latency_at=None,
         duration=data["duration"],
         counters=dict(data["counters"]),
+        # Lenient: results saved before the message plane existed load fine.
+        channels={
+            name: dict(c) for name, c in sorted(data.get("channels", {}).items())
+        },
     )
 
 
@@ -144,6 +149,11 @@ def summary_to_dict(summary: Any) -> Dict[str, Any]:
         ),
         "completion": summary.completion,
         "counters": dict(summary.counters),
+        # Per-channel message-plane odometers; older summaries lack them.
+        "channels": {
+            name: dict(c)
+            for name, c in sorted((getattr(summary, "channels", {}) or {}).items())
+        },
     }
 
 

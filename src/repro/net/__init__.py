@@ -1,4 +1,4 @@
-"""Network substrate: latency models, FIFO links, traces, multicast."""
+"""Network substrate: latency models, FIFO links, traces, multicast, transport."""
 
 from repro.net.latency import (
     CloudLatencyModel,
@@ -14,7 +14,8 @@ from repro.net.latency import (
     UniformJitterLatency,
 )
 from repro.net.link import DeliveryRecord, Link, LossyLink
-from repro.net.multicast import MulticastGroup
+from repro.net.multicast import MulticastGroup, Sendable
+from repro.net.transport import Channel, Transport
 from repro.net.trace import (
     NetworkTrace,
     generate_figure11_trace,
@@ -35,10 +36,13 @@ __all__ = [
     "StepLatency",
     "TraceLatency",
     "UniformJitterLatency",
+    "Channel",
     "DeliveryRecord",
     "Link",
     "LossyLink",
     "MulticastGroup",
+    "Sendable",
+    "Transport",
     "NetworkTrace",
     "generate_figure11_trace",
     "load_trace_csv",

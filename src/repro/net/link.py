@@ -60,6 +60,11 @@ class Link:
     record:
         When true, keeps a :class:`DeliveryRecord` per packet (tests and
         metric computation); large experiments leave it off.
+    priority:
+        Engine priority for delivery events.  Data-plane links deliver at
+        the default priority 0; control channels that must order after
+        (e.g. acks, priority 5) or before (e.g. standby adoption, -1)
+        same-time data deliveries set it explicitly.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class Link:
         handler: Optional[DeliveryHandler] = None,
         name: str = "link",
         record: bool = False,
+        priority: int = 0,
     ) -> None:
         self.runtime = as_runtime(engine)
         self.engine = self.runtime.engine
@@ -76,6 +82,7 @@ class Link:
         self.handler = handler
         self.name = name
         self.record = record
+        self.priority = priority
         self.records: List[DeliveryRecord] = []
         self._last_arrival = float("-inf")
         self._sent = 0
@@ -187,13 +194,16 @@ class Link:
             )
 
         self.engine.schedule_at(
-            arrival, self._deliver, priority=0, args=(message, t_send, arrival)
+            arrival, self._deliver, priority=self.priority, args=(message, t_send, arrival)
         )
         return arrival
 
     def _deliver(self, message: Any, t_send: float, arrival: float) -> None:
+        handler = self.handler
+        if handler is None:  # pragma: no cover - send() validates before scheduling
+            raise RuntimeError(f"link {self.name!r} lost its handler in flight")
         self._delivered += 1
-        self.handler(message, t_send, arrival)
+        handler(message, t_send, arrival)
 
 
 class LossyLink(Link):
@@ -222,8 +232,11 @@ class LossyLink(Link):
         loss_handler: Optional[DeliveryHandler] = None,
         name: str = "lossy-link",
         record: bool = False,
+        priority: int = 0,
     ) -> None:
-        super().__init__(engine, latency_model, handler=handler, name=name, record=record)
+        super().__init__(
+            engine, latency_model, handler=handler, name=name, record=record, priority=priority
+        )
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
         if recovery_delay < 0:

@@ -10,20 +10,25 @@ destination delivery accounting.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Protocol
 
-from repro.net.link import Link
+__all__ = ["MulticastGroup", "Sendable"]
 
-__all__ = ["MulticastGroup"]
+
+class Sendable(Protocol):
+    """Anything that can carry a message: a raw ``Link`` or a ``Channel``."""
+
+    def send(self, message: Any, send_time: Optional[float] = None) -> float: ...
 
 
 class MulticastGroup:
-    """A named set of unicast links sharing a publisher.
+    """A named set of unicast members (links or channels) sharing a publisher.
 
     Examples
     --------
     >>> from repro.sim import EventEngine
     >>> from repro.net.latency import ConstantLatency
+    >>> from repro.net.link import Link
     >>> engine = EventEngine()
     >>> group = MulticastGroup()
     >>> got = []
@@ -37,10 +42,10 @@ class MulticastGroup:
     """
 
     def __init__(self) -> None:
-        self._members: Dict[str, Link] = {}
+        self._members: Dict[str, Sendable] = {}
         self._published = 0
 
-    def add_member(self, member_id: str, link: Link) -> None:
+    def add_member(self, member_id: str, link: Sendable) -> None:
         """Register a destination; ``member_id`` must be unique."""
         if member_id in self._members:
             raise ValueError(f"duplicate multicast member: {member_id!r}")
@@ -60,8 +65,8 @@ class MulticastGroup:
     def messages_published(self) -> int:
         return self._published
 
-    def link_for(self, member_id: str) -> Link:
-        """The unicast link serving one member."""
+    def link_for(self, member_id: str) -> Sendable:
+        """The unicast link (or channel) serving one member."""
         return self._members[member_id]
 
     def publish(self, message: Any, send_time: Optional[float] = None) -> Dict[str, float]:

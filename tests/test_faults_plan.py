@@ -126,4 +126,57 @@ class TestSchedule:
         assert FAULT_KINDS == {
             "link_burst_loss", "latency_degradation", "partition",
             "rb_crash", "ob_failover", "shard_failure", "gateway_stall",
+            "duplicate_delivery",
         }
+
+
+class TestChannelAddressing:
+    def test_channel_address_accepted_for_link_kinds(self):
+        spec = FaultSpec(kind="link_burst_loss", at=0.0, duration=1.0,
+                         channel="ack-mp0", magnitude=0.5)
+        assert spec.channel == "ack-mp0"
+        FaultSpec(kind="partition", at=0.0, duration=1.0, channel="egress")
+        FaultSpec(kind="latency_degradation", at=0.0, duration=1.0,
+                  channel="shard-0->master", magnitude=50.0)
+
+    def test_channel_rejected_for_non_channel_kinds(self):
+        with pytest.raises(ValueError, match="does not address a channel"):
+            FaultSpec(kind="rb_crash", at=0.0, channel="rev-mp0")
+        with pytest.raises(ValueError, match="does not address a channel"):
+            FaultSpec(kind="ob_failover", at=0.0, channel="ob-adopt")
+
+    def test_channel_and_target_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultSpec(kind="partition", at=0.0, duration=1.0, target="mp0",
+                      channel="fwd-mp0")
+
+    def test_duplicate_delivery_needs_channel_or_target(self):
+        with pytest.raises(ValueError, match="target or a channel"):
+            FaultSpec(kind="duplicate_delivery", at=0.0, duration=1.0,
+                      magnitude=0.5)
+
+    def test_duplicate_delivery_magnitude_bounds(self):
+        for magnitude in (0.0, 1.5):
+            with pytest.raises(ValueError, match="magnitude"):
+                FaultSpec(kind="duplicate_delivery", at=0.0, duration=1.0,
+                          channel="rev-mp0", magnitude=magnitude)
+
+    def test_duplicate_delivery_requires_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultSpec(kind="duplicate_delivery", at=0.0, channel="rev-mp0",
+                      magnitude=0.5)
+
+    def test_channel_round_trips_through_json(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="duplicate_delivery", at=5.0, duration=3.0,
+                      channel="rev-mp0", magnitude=0.4, seed=7),
+            name="dup",
+        )
+        clone = FaultSchedule.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.faults[0].channel == "rev-mp0"
+
+    def test_to_dict_omits_absent_channel(self):
+        doc = FaultSpec(kind="partition", at=1.0, duration=2.0,
+                        target="mp0").to_dict()
+        assert "channel" not in doc
