@@ -24,7 +24,7 @@ import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.core.params import DBOParams
+from repro.core.params import AggregationTopology, DBOParams
 from repro.exchange.feed import FeedConfig
 from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
 from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
@@ -198,6 +198,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scenario", choices=sorted(SCENARIOS), default="cloud")
     p.add_argument("--participants", type=int, default=10)
     p.add_argument("--duration", type=float, default=50_000.0, help="µs of market data")
+    p.add_argument(
+        "--drain",
+        type=float,
+        default=None,
+        help="µs of drain after the feed stops (default: max(20000, 5%% of duration))",
+    )
     p.add_argument("--seed", type=int, default=12)
     p.add_argument(
         "--engine",
@@ -222,6 +228,14 @@ def _add_scheme_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--tau", type=float, default=20.0, help="DBO heartbeat period τ (µs)")
     p.add_argument("--straggler-threshold", type=float, default=None)
     p.add_argument("--ob-shards", type=int, default=1)
+    p.add_argument(
+        "--agg-depth", type=int, default=0,
+        help="heartbeat aggregation tree depth (0 = flat/eager default)",
+    )
+    p.add_argument(
+        "--agg-fanout", type=int, default=8,
+        help="children per aggregation-tree node (with --agg-depth > 0)",
+    )
     p.add_argument("--sync-c1", type=float, default=None,
                    help="enable §4.2.6 sync-assisted delivery with this target")
     p.add_argument("--c1", type=float, default=50.0, help="CloudEx data threshold (µs)")
@@ -260,6 +274,10 @@ def _scheme_kwargs(scheme: str, args) -> dict:
             ),
             n_ob_shards=args.ob_shards,
         )
+        if args.agg_depth > 0:
+            kwargs["topology"] = AggregationTopology(
+                fanout=args.agg_fanout, depth=args.agg_depth
+            )
         if args.sync_c1 is not None:
             kwargs["sync_target_c1"] = args.sync_c1
         return kwargs
@@ -277,6 +295,7 @@ def _run_one(scheme: str, args):
         scheme,
         _build_specs(args),
         duration=args.duration,
+        drain=getattr(args, "drain", None),
         feed_config=FeedConfig(interval=args.interval),
         response_time_model=_build_rt_model(args),
         seed=args.seed,

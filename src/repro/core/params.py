@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["DBOParams"]
+__all__ = ["DBOParams", "AggregationTopology"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +81,48 @@ class DBOParams:
         if batch_span <= delta:
             raise ValueError("batch_span must exceed delta (kappa > 0)")
         return replace(self, delta=delta, kappa=batch_span / delta - 1.0)
+
+
+@dataclass(frozen=True)
+class AggregationTopology:
+    """Shape of the hierarchical heartbeat aggregation tree.
+
+    ``depth = 0`` (the default everywhere) keeps today's behaviour
+    exactly: the flat OB, or the eager two-level §5.2 hierarchy when
+    ``n_ob_shards > 1``.  ``depth ≥ 1`` switches the heartbeat plane to
+    batched tree mode: shard summaries ride per-node
+    :class:`~repro.sim.engine.PeriodicTimer` ticks through ``depth - 1``
+    levels of transparent forwarding aggregators into the master, making
+    the master's per-tick heartbeat work O(tree width) instead of O(N).
+
+    Frozen and hashable so it travels through the scheme registry and
+    pickles into :class:`~repro.parallel.matrix.CellSpec` workers.
+    """
+
+    fanout: int = 8
+    depth: int = 0
+    # Summary cadence of every tree node, in µs.  ``None`` inherits the
+    # deployment's heartbeat period τ — one summary per node per tick.
+    summary_period: float | None = None
+    # Latency of each ``agg-{node}`` tree edge, in µs.  ``None`` inherits
+    # the deployment's shard→master hop latency model.
+    edge_latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ValueError("depth must be non-negative")
+        if self.fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if self.summary_period is not None and self.summary_period <= 0:
+            raise ValueError("summary_period must be positive when set")
+        if self.edge_latency is not None and self.edge_latency < 0:
+            raise ValueError("edge_latency must be non-negative when set")
+
+    @property
+    def enabled(self) -> bool:
+        return self.depth > 0
+
+    def n_shards_for(self, n_participants: int) -> int:
+        """Leaf count when the deployment did not pin ``n_ob_shards``:
+        one shard per ``fanout`` participants."""
+        return max(1, (n_participants + self.fanout - 1) // self.fanout)

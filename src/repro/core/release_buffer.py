@@ -175,6 +175,12 @@ class ReleaseBuffer:
         self.batches_dropped_crashed = 0
         self.restarts = 0
 
+        # ----- clock-drift fault state (clock_drift fault kind) ---------
+        # The un-skewed drift rate, remembered while a skew is active so
+        # clear_clock_skew can restore it.
+        self._skew_base_drift: Optional[float] = None
+        self.clock_skews_applied = 0
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -369,6 +375,70 @@ class ReleaseBuffer:
         first = self.engine.now if start_time is None else start_time
         self._heartbeat_timer = self.engine.schedule_periodic(
             first, self.heartbeat_period, self._heartbeat, priority=3
+        )
+
+    # ------------------------------------------------------------------
+    # Clock drift (the `clock_drift` fault kind)
+    # ------------------------------------------------------------------
+    def apply_clock_skew(self, magnitude: float) -> None:
+        """Suddenly worsen this RB's local clock drift by ``magnitude``.
+
+        Models an NTP step / thermal drift event: the clock's rate
+        becomes ``(1 + drift)·(1 + magnitude) - 1`` (compounding, so
+        repeated faults stack) while its *reading* stays continuous at
+        the fault instant — a reading jump would move the delivery
+        clock's elapsed component backwards and forge stamp regressions,
+        which is not what drift does.  The heartbeat timer is also
+        rescheduled to the skewed cadence (a fast clock heartbeats more
+        often in true time, a slow one less often), so one subtree of the
+        aggregation hierarchy can be driven off-tempo.
+
+        DBO's claim under test: ε-fairness only uses clock *intervals*,
+        so even gross drift must degrade latency, never safety.
+        """
+        clock = self.local_clock
+        if not hasattr(clock, "drift_rate") or not hasattr(clock, "offset"):
+            raise RuntimeError(
+                f"RB {self.mp_id!r} local clock {type(clock).__name__} "
+                "cannot drift (needs mutable offset/drift_rate)"
+            )
+        now = self.engine.now
+        reading = clock.now(now)
+        if self._skew_base_drift is None:
+            self._skew_base_drift = clock.drift_rate
+        new_drift = (1.0 + clock.drift_rate) * (1.0 + magnitude) - 1.0
+        clock.drift_rate = new_drift
+        clock.offset = reading - (1.0 + new_drift) * now
+        self.clock_skews_applied += 1
+        self._reschedule_heartbeats()
+
+    def clear_clock_skew(self) -> None:
+        """Restore the pre-fault drift rate (reading stays continuous)."""
+        if self._skew_base_drift is None:
+            return
+        clock = self.local_clock
+        now = self.engine.now
+        reading = clock.now(now)
+        clock.drift_rate = self._skew_base_drift
+        clock.offset = reading - (1.0 + clock.drift_rate) * now
+        self._skew_base_drift = None
+        self._reschedule_heartbeats()
+
+    def _reschedule_heartbeats(self) -> None:
+        """Re-anchor the heartbeat timer at the local clock's cadence.
+
+        τ is a *local* period; under skew its true-time equivalent is
+        ``interval_to_true(τ)``.  The unskewed path never lands here, so
+        default runs keep their original (true-time τ) timers untouched.
+        """
+        if self._heartbeat_timer is None or not self._heartbeats_started:
+            return
+        if self.crashed:
+            return
+        self._heartbeat_timer.cancel()
+        true_period = self.local_clock.interval_to_true(self.heartbeat_period)
+        self._heartbeat_timer = self.engine.schedule_periodic(
+            self.engine.now + true_period, true_period, self._heartbeat, priority=3
         )
 
     def _heartbeat(self) -> None:

@@ -17,151 +17,30 @@ The hierarchy filters heartbeats: the master processes one summary per
 shard per update instead of one per participant, which is the scaling
 claim the ablation benchmark (`benchmarks/test_ablation_sharded_ob.py`)
 quantifies.
+
+The watermark-merge core now lives in :mod:`repro.core.aggregation`
+(:class:`HeartbeatAggregator` and its releasing root :class:`MasterOB`),
+which generalizes the two-level shape to configurable-fanout trees of
+transparent :class:`~repro.core.aggregation.ForwardingAggregator` nodes.
+This module keeps the leaf (:class:`ShardOB`) and the classic two-level
+builder; ``MasterOB`` is re-exported for backward compatibility.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.aggregation import MasterOB, UpstreamSend
 from repro.core.delivery_clock import DeliveryClockStamp
 from repro.core.ordering_buffer import OrderingBuffer, ReleaseSink
 from repro.exchange.messages import Heartbeat, TaggedTrade
 
+if TYPE_CHECKING:
+    from repro.net.latency import LatencyModel
+    from repro.net.transport import Transport
+    from repro.sim.engine import EventEngine
+
 __all__ = ["ShardOB", "MasterOB", "build_sharded_ob"]
-
-
-class MasterOB:
-    """Final-merge OB: one logical "participant" per shard."""
-
-    def __init__(self, shard_ids: Sequence[str], sink: Optional[ReleaseSink] = None) -> None:
-        if not shard_ids:
-            raise ValueError("master OB needs at least one shard")
-        self.sink = sink
-        self._watermarks: Dict[str, Optional[DeliveryClockStamp]] = {
-            shard_id: None for shard_id in shard_ids
-        }
-        # Entries: (stamp tuple, shard_id, mp_id, trade_seq, TaggedTrade).
-        self._heap: List[Tuple[Tuple[int, float], str, str, int, TaggedTrade]] = []
-        # Released (mp_id, trade_seq) keys: RB retransmissions rerouted
-        # through a different shard after a shard failure must not reach
-        # the matching engine twice.
-        self._released: Set[Tuple[str, int]] = set()
-        self._retired: Set[str] = set()
-        self.trades_released = 0
-        self.summaries_processed = 0
-        self.duplicates_ignored = 0
-        self.late_shard_messages = 0
-
-    def set_sink(self, sink: ReleaseSink) -> None:
-        self.sink = sink
-
-    def remove_shard(self, shard_id: str, now: float = 0.0) -> None:
-        """Stop waiting on a failed shard (§5.2 + failure handling).
-
-        The dead shard's watermark leaves the release rule immediately —
-        otherwise the master would stall forever — and messages still in
-        flight on its hop link are dropped on arrival (counted).
-        """
-        if shard_id not in self._watermarks:
-            raise KeyError(f"unknown shard {shard_id!r}")
-        del self._watermarks[shard_id]
-        self._retired.add(shard_id)
-        if self._watermarks:
-            # Release anything the dead shard's watermark was holding back.
-            self._try_release(now)
-
-    def on_shard_trade(self, shard_id: str, tagged: TaggedTrade, now: float) -> None:
-        """A trade the shard deemed safe w.r.t. its own subset.
-
-        Shards emit trades in stamp order over an in-order channel, so a
-        forwarded trade is itself proof of its shard's progress: the
-        shard's watermark is advanced to the trade's stamp.
-        """
-        if shard_id not in self._watermarks:
-            if shard_id in self._retired:
-                self.late_shard_messages += 1
-                return
-            raise KeyError(f"unknown shard {shard_id!r}")
-        key = tagged.trade.key
-        if key in self._released:
-            self.duplicates_ignored += 1
-            return
-        stamp: DeliveryClockStamp = tagged.clock
-        current = self._watermarks[shard_id]
-        if current is None or stamp > current:
-            self._watermarks[shard_id] = stamp
-        heapq.heappush(
-            self._heap,
-            (stamp.as_tuple(), shard_id, tagged.trade.mp_id, tagged.trade.trade_seq, tagged),
-        )
-        self._try_release(now)
-
-    def on_shard_summary(self, shard_id: str, watermark: Optional[DeliveryClockStamp], now: float) -> None:
-        """A shard's summary heartbeat: the min watermark of its subset."""
-        if shard_id not in self._watermarks:
-            if shard_id in self._retired:
-                self.late_shard_messages += 1
-                return
-            raise KeyError(f"unknown shard {shard_id!r}")
-        self.summaries_processed += 1
-        current = self._watermarks[shard_id]
-        if watermark is not None and (current is None or watermark > current):
-            self._watermarks[shard_id] = watermark
-        self._try_release(now)
-
-    def _watermark_extremes(self):
-        """Lowest and second-lowest shard watermarks (see OrderingBuffer)."""
-        min1: Optional[DeliveryClockStamp] = None
-        min1_shard: Optional[str] = None
-        min2: Optional[DeliveryClockStamp] = None
-        for shard_id, watermark in self._watermarks.items():
-            if watermark is None:
-                return None, None, None
-            if min1 is None or watermark < min1:
-                min2 = min1
-                min1 = watermark
-                min1_shard = shard_id
-            elif min2 is None or watermark < min2:
-                min2 = watermark
-        if min2 is None:
-            min2 = DeliveryClockStamp(2**62, float("inf"))
-        return min1, min1_shard, min2
-
-    def _try_release(self, now: float) -> None:
-        min1, min1_shard, min2 = self._watermark_extremes()
-        if min1 is None:
-            return
-        while self._heap:
-            stamp_tuple, shard_id, _, _, _ = self._heap[0]
-            bound = min2 if shard_id == min1_shard else min1
-            if stamp_tuple >= bound.as_tuple():
-                break
-            _, _, _, _, tagged = heapq.heappop(self._heap)
-            key = tagged.trade.key
-            if key in self._released:
-                self.duplicates_ignored += 1
-                continue
-            self._released.add(key)
-            self.trades_released += 1
-            if self.sink is not None:
-                self.sink(tagged, now)
-
-    def flush(self, now: float) -> int:
-        """Release every queued trade in stamp order (end-of-run drain)."""
-        flushed = 0
-        while self._heap:
-            _, _, _, _, tagged = heapq.heappop(self._heap)
-            key = tagged.trade.key
-            if key in self._released:
-                self.duplicates_ignored += 1
-                continue
-            self._released.add(key)
-            self.trades_released += 1
-            flushed += 1
-            if self.sink is not None:
-                self.sink(tagged, now)
-        return flushed
 
 
 class ShardOB:
@@ -169,7 +48,7 @@ class ShardOB:
 
     Internally reuses :class:`OrderingBuffer` for the subset-safety logic;
     trades it releases are safe with respect to the shard's participants
-    and flow upward to the master, together with summary heartbeats.
+    and flow upward to the parent, together with summary heartbeats.
 
     Parameters
     ----------
@@ -178,7 +57,9 @@ class ShardOB:
     participants:
         The subset of participant ids this shard owns.
     master:
-        The master OB receiving safe trades and summaries.
+        The master OB receiving safe trades and summaries (the classic
+        two-level deployment).  May be ``None`` when ``parent_send`` is
+        given instead.
     engine / hop_latency:
         When both are given, the shard→master hop travels over a real
         FIFO link with that latency — the §5.2 "standalone VM" shard
@@ -190,34 +71,54 @@ class ShardOB:
         the hop is a real link), the hop is registered as the channel
         ``"{shard_id}->master"`` so faults can address it by name and its
         message odometers appear in the run's channel report.
+    parent_send:
+        Tree deployments: a callable carrying ``("trade", tagged)`` /
+        ``("summary", watermark)`` tuples to the shard's parent
+        aggregator over that edge's channel.  Mutually exclusive with
+        ``master``/``hop_latency``.
+    eager_summaries:
+        ``True`` (the §5.2 default): publish a summary after *every*
+        trade and heartbeat, minimising release latency at O(N) parent
+        work.  ``False`` (tree mode): summaries ride a
+        :class:`~repro.sim.engine.PeriodicTimer` via
+        :meth:`publish_summary` — one message per tick.
     """
 
     def __init__(
         self,
         shard_id: str,
         participants: Sequence[str],
-        master: MasterOB,
+        master: Optional[MasterOB] = None,
         generation_time_of: Optional[Callable[[int], float]] = None,
         straggler_threshold: Optional[float] = None,
         latest_point_id: Optional[Callable[[], int]] = None,
-        engine=None,
-        hop_latency=None,
-        transport=None,
+        engine: Optional["EventEngine"] = None,
+        hop_latency: Optional["LatencyModel"] = None,
+        transport: Optional["Transport"] = None,
+        parent_send: Optional[UpstreamSend] = None,
+        eager_summaries: bool = True,
     ) -> None:
+        if master is None and parent_send is None:
+            raise ValueError(f"shard {shard_id!r} needs a master or a parent_send")
         self.shard_id = shard_id
         self.master = master
+        self._parent_send = parent_send
+        self._eager_summaries = eager_summaries
         self._inner = OrderingBuffer(
             participants=list(participants),
-            sink=self._forward_to_master,
+            sink=self._forward_up,
             generation_time_of=generation_time_of,
             straggler_threshold=straggler_threshold,
             latest_point_id=latest_point_id,
         )
         self.heartbeats_processed = 0
+        self.summaries_published = 0
         self._hop_link = None
         if hop_latency is not None:
             if engine is None:
                 raise ValueError("a hop_latency needs an engine")
+            if parent_send is not None:
+                raise ValueError("parent_send already carries the upstream hop")
             from repro.net.link import Link
 
             link = Link(engine, hop_latency, name=f"{shard_id}->master")
@@ -235,8 +136,9 @@ class ShardOB:
                 link.connect(self._on_hop_arrival)
                 self._hop_link = link
 
-    def _on_hop_arrival(self, message, send_time: float, arrival_time: float) -> None:
+    def _on_hop_arrival(self, message: tuple, send_time: float, arrival_time: float) -> None:
         kind, payload = message
+        assert self.master is not None
         if kind == "trade":
             self.master.on_shard_trade(self.shard_id, payload, arrival_time)
         else:
@@ -262,12 +164,14 @@ class ShardOB:
     # ------------------------------------------------------------------
     def on_tagged_trade(self, tagged: TaggedTrade, send_time: float, arrival_time: float) -> None:
         self._inner.on_tagged_trade(tagged, send_time, arrival_time)
-        self._publish_summary(arrival_time)
+        if self._eager_summaries:
+            self.publish_summary(arrival_time)
 
     def on_heartbeat(self, heartbeat: Heartbeat, send_time: float, arrival_time: float) -> None:
         self.heartbeats_processed += 1
         self._inner.on_heartbeat(heartbeat, send_time, arrival_time)
-        self._publish_summary(arrival_time)
+        if self._eager_summaries:
+            self.publish_summary(arrival_time)
 
     # ------------------------------------------------------------------
     def _subset_watermark(self) -> Optional[DeliveryClockStamp]:
@@ -279,17 +183,32 @@ class ShardOB:
                 minimum = state.watermark
         return minimum
 
-    def _publish_summary(self, now: float) -> None:
+    def publish_summary(self, now: float) -> None:
+        """Send the subset-minimum watermark upstream.
+
+        Called inline after every message in the eager (§5.2) mode, or by
+        a per-shard :class:`~repro.sim.engine.PeriodicTimer` in tree mode.
+        """
         watermark = self._subset_watermark()
-        if self._hop_link is not None:
+        self.summaries_published += 1
+        if self._parent_send is not None:
+            self._parent_send(("summary", watermark))
+        elif self._hop_link is not None:
             self._hop_link.send(("summary", watermark))
         else:
+            assert self.master is not None
             self.master.on_shard_summary(self.shard_id, watermark, now)
 
-    def _forward_to_master(self, tagged: TaggedTrade, now: float) -> None:
-        if self._hop_link is not None:
+    # Backwards-compatible private alias (older tests drive it directly).
+    _publish_summary = publish_summary
+
+    def _forward_up(self, tagged: TaggedTrade, now: float) -> None:
+        if self._parent_send is not None:
+            self._parent_send(("trade", tagged))
+        elif self._hop_link is not None:
             self._hop_link.send(("trade", tagged))
         else:
+            assert self.master is not None
             self.master.on_shard_trade(self.shard_id, tagged, now)
 
 
@@ -300,9 +219,9 @@ def build_sharded_ob(
     generation_time_of: Optional[Callable[[int], float]] = None,
     straggler_threshold: Optional[float] = None,
     latest_point_id: Optional[Callable[[], int]] = None,
-    engine=None,
-    hop_latency=None,
-    transport=None,
+    engine: Optional["EventEngine"] = None,
+    hop_latency: Optional["LatencyModel"] = None,
+    transport: Optional["Transport"] = None,
 ) -> Tuple[MasterOB, List[ShardOB], Dict[str, ShardOB]]:
     """Partition participants round-robin across ``n_shards`` shards.
 

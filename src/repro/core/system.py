@@ -14,24 +14,29 @@ must not care (Challenge 1).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.baselines.base import BaseDeployment, NetworkSpec
+from repro.core.aggregation import ForwardingAggregator, plan_tree
 from repro.core.batcher import Batcher
 from repro.core.gateway import EgressGateway
 from repro.core.ordering_buffer import OrderingBuffer
-from repro.core.params import DBOParams
+from repro.core.params import AggregationTopology, DBOParams
 from repro.core.release_buffer import ReleaseBuffer, RetransmitPolicy
 from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
 from repro.core.sync_delivery import SyncAssistedReleaseBuffer
 from repro.exchange.feed import FeedConfig
 from repro.exchange.messages import Heartbeat, MarketDataBatch, TaggedTrade
-from repro.net.latency import ConstantLatency
+from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.multicast import MulticastGroup
 from repro.net.transport import Channel
 from repro.participants.response_time import ResponseTimeModel
 from repro.participants.strategies import Strategy
 from repro.sim.runtime import Runtime
+
+if TYPE_CHECKING:
+    from repro.exchange.messages import Execution, TradeOrder
+    from repro.exchange.risk import RiskGate, RiskLimits
 
 __all__ = ["DBODeployment"]
 
@@ -46,6 +51,16 @@ class DBODeployment(BaseDeployment):
     n_ob_shards:
         1 (default) uses a single ordering buffer; >1 builds the §5.2
         hierarchy with a master merger.
+    topology:
+        Optional :class:`~repro.core.params.AggregationTopology`.  At the
+        default ``depth = 0`` behaviour is exactly as without it (flat
+        OB, or the eager two-level hierarchy when ``n_ob_shards > 1``).
+        ``depth ≥ 1`` switches the heartbeat plane into batched tree
+        mode: shards publish subset-minimum summaries once per tick
+        (instead of per message) through ``depth - 1`` levels of
+        transparent forwarding aggregators into the master, every tree
+        edge a named faultable ``"agg-{node}"`` channel.  The master's
+        per-tick heartbeat work becomes O(tree width) instead of O(N).
     disable_batching / disable_pacing:
         Ablation switches (§4.2.2): ``disable_batching`` publishes every
         point as its own batch regardless of ``(1+κ)δ``;
@@ -83,7 +98,8 @@ class DBODeployment(BaseDeployment):
         seed: int = 0,
         rb_clock_drift: float = 1e-4,
         n_ob_shards: int = 1,
-        shard_master_latency=None,
+        shard_master_latency: Optional[LatencyModel] = None,
+        topology: Optional[AggregationTopology] = None,
         disable_batching: bool = False,
         disable_pacing: bool = False,
         sync_target_c1: Optional[float] = None,
@@ -91,7 +107,7 @@ class DBODeployment(BaseDeployment):
         telemetry_interval: Optional[float] = None,
         piggyback_suppression: bool = False,
         ob_service_time: float = 0.0,
-        risk_limits=None,
+        risk_limits: Optional["RiskLimits"] = None,
         ob_incremental_extremes: bool = True,
         retransmit_policy: Optional[RetransmitPolicy] = None,
         enable_egress_gateway: bool = False,
@@ -111,6 +127,16 @@ class DBODeployment(BaseDeployment):
         self.params = params if params is not None else DBOParams()
         self.n_ob_shards = n_ob_shards
         self.shard_master_latency = shard_master_latency
+        self.topology = topology
+        # Aggregation-tree state (tree mode only): interior nodes by id,
+        # the mutable child→parent routing (re-parenting on node crash
+        # must redirect in-flight channel arrivals), per-node summary
+        # timers, and per-node "publish now" hooks for orphan re-reports.
+        self._agg_nodes: Dict[str, ForwardingAggregator] = {}
+        self._agg_parent: Dict[str, str] = {}
+        self._agg_timers: Dict[str, object] = {}
+        self._agg_publishers: Dict[str, Callable[[], None]] = {}
+        self.aggregator_failures = 0
         self.disable_batching = disable_batching
         self.disable_pacing = disable_pacing
         self.sync_target_c1 = sync_target_c1
@@ -175,7 +201,11 @@ class DBODeployment(BaseDeployment):
             self.risk_gate = RiskGate(self.risk_limits, sink=me.submit)
             previous_hook = me.on_execution
 
-            def on_execution(execution, gate=self.risk_gate, prev=previous_hook):
+            def on_execution(
+                execution: "Execution",
+                gate: "RiskGate" = self.risk_gate,
+                prev: Optional[Callable[["Execution"], None]] = previous_hook,
+            ) -> None:
                 gate.on_execution(execution)
                 if prev is not None:
                     prev(execution)
@@ -203,7 +233,9 @@ class DBODeployment(BaseDeployment):
 
         self._release_sink = release_sink
 
-        if self.n_ob_shards <= 1:
+        if self.topology is not None and self.topology.enabled:
+            self._build_aggregation_tree(release_sink)
+        elif self.n_ob_shards <= 1:
             self.ordering_buffer = OrderingBuffer(
                 participants=list(self.mp_ids),
                 sink=release_sink,
@@ -356,13 +388,15 @@ class DBODeployment(BaseDeployment):
                     handler=lambda key, sent, arrival, rb=rb: rb.on_ack(key),
                     priority=5,
                 )
-            mp_handler = self.participants[index].on_data
-            mp_submitter = rb.on_mp_trade
+            mp_handler: Callable[..., None] = self.participants[index].on_data
+            mp_submitter: Callable[..., None] = rb.on_mp_trade
             if self.egress_gateway is not None:
                 gateway = self.egress_gateway
 
-                def mp_handler(points, mp_time, rb=rb, mp_id=mp_id,
-                               inner=self.participants[index].on_data):
+                def gated_handler(points: object, mp_time: float,
+                                  rb: ReleaseBuffer = rb, mp_id: str = mp_id,
+                                  inner: Callable[..., None] =
+                                  self.participants[index].on_data) -> None:
                     inner(points, mp_time)
                     # The RB reports delivery progress so the gateway can
                     # judge when outbound data is globally stale.
@@ -370,7 +404,9 @@ class DBODeployment(BaseDeployment):
                     if rb.clock.started:
                         gateway.on_clock_report(mp_id, rb.clock.read(now), now)
 
-                def mp_submitter(trade, rb=rb, mp_id=mp_id):
+                def gated_submitter(trade: "TradeOrder",
+                                    rb: ReleaseBuffer = rb,
+                                    mp_id: str = mp_id) -> None:
                     rb.on_mp_trade(trade)
                     # Outbound copy (e.g. strategy telemetry leaving the
                     # cloud) is tagged and held until globally delivered.
@@ -380,10 +416,131 @@ class DBODeployment(BaseDeployment):
                             mp_id, ("order-copy", trade.key), rb.clock.read(now), now
                         )
 
+                mp_handler = gated_handler
+                mp_submitter = gated_submitter
+
             rb.connect_mp(mp_handler)
             self._wire_mp_submitter(index, mp_submitter)
 
-    def _make_ob_dispatcher(self, mp_id: str):
+    def _agg_summary_period(self) -> float:
+        topology = self.topology
+        assert topology is not None
+        if topology.summary_period is not None:
+            return topology.summary_period
+        return self.params.tau
+
+    def _resolve_agg_parent(
+        self, child_id: str
+    ) -> Union[MasterOB, ForwardingAggregator]:
+        """The node object currently parenting ``child_id`` (tree mode).
+
+        Resolved per arrival, not captured at build time: a node crash
+        re-parents its children, and messages already in flight on their
+        ``agg-{child}`` channels must land on the adopter.
+        """
+        parent_id = self._agg_parent[child_id]
+        if parent_id == "master":
+            assert self.master_ob is not None
+            return self.master_ob
+        return self._agg_nodes[parent_id]
+
+    def _build_aggregation_tree(
+        self, release_sink: Callable[[TaggedTrade, float], None]
+    ) -> None:
+        """Wire the batched hierarchical heartbeat plane (tree mode).
+
+        RB heartbeats still arrive per participant at their leaf shard
+        (the delivery-clock data path is untouched); what changes is the
+        summary plane above the shards: each tree node re-publishes its
+        subtree-minimum watermark once per tick over its own faultable
+        ``agg-{node}`` channel, so every parent — the master included —
+        does O(children) heartbeat work per tick regardless of N.
+        """
+        topology = self.topology
+        assert topology is not None
+        params = self.params
+        n_participants = len(self.mp_ids)
+        n_shards = (
+            self.n_ob_shards
+            if self.n_ob_shards > 1
+            else topology.n_shards_for(n_participants)
+        )
+        n_shards = min(n_shards, n_participants)
+        shard_ids = [f"shard-{index}" for index in range(n_shards)]
+        levels = plan_tree(shard_ids, topology.fanout, topology.depth)
+        for level in levels:
+            for node_id, children in level:
+                for child_id in children:
+                    self._agg_parent[child_id] = node_id
+        master_children = [node_id for node_id, _ in levels[-1]] if levels else shard_ids
+        for child_id in master_children:
+            self._agg_parent[child_id] = "master"
+        # With shards directly under the master (depth 1) the children
+        # release in stamp order, so the master keeps the §5.2 min2
+        # self-exception; transparent interior nodes interleave streams,
+        # so deeper trees bound every release by the global minimum.
+        self.master_ob = MasterOB(
+            master_children,
+            sink=release_sink,
+            releasing_children=not levels,
+        )
+        if topology.edge_latency is not None:
+            edge_model = ConstantLatency(topology.edge_latency)
+        elif self.shard_master_latency is not None:
+            edge_model = self.shard_master_latency
+        else:
+            edge_model = ConstantLatency(0.0)
+
+        def open_edge(child_id: str) -> Channel:
+            def handler(message: tuple, send_time: float, arrival_time: float,
+                        child_id: str = child_id) -> None:
+                kind, payload = message
+                parent = self._resolve_agg_parent(child_id)
+                if kind == "trade":
+                    parent.on_child_trade(child_id, payload, arrival_time)
+                else:
+                    parent.on_child_summary(child_id, payload, arrival_time)
+
+            return self._open_control_channel(
+                f"agg-{child_id}",
+                edge_model,
+                source=child_id,
+                destination=self._agg_parent[child_id],
+                handler=handler,
+            )
+
+        for level in levels:
+            for node_id, children in level:
+                node = ForwardingAggregator(node_id, children)
+                self._agg_nodes[node_id] = node
+                node.connect_upstream(open_edge(node_id).send)
+                self._agg_publishers[node_id] = node.publish_tick
+        assignments: List[List[str]] = [[] for _ in range(n_shards)]
+        for index, mp_id in enumerate(self.mp_ids):
+            assignments[index % n_shards].append(mp_id)
+        for index, shard_id in enumerate(shard_ids):
+            shard = ShardOB(
+                shard_id,
+                assignments[index],
+                master=None,
+                generation_time_of=self.ces.generation_time_of,
+                straggler_threshold=params.straggler_threshold,
+                latest_point_id=lambda: self.ces.points_generated - 1,
+                parent_send=open_edge(shard_id).send,
+                eager_summaries=False,
+            )
+            self.shards.append(shard)
+            self._agg_publishers[shard_id] = (
+                lambda shard=shard: shard.publish_summary(self.engine.now)
+            )
+        self._shard_routing = {
+            mp_id: self.shards[index % n_shards]
+            for index, mp_id in enumerate(self.mp_ids)
+        }
+
+    def _make_ob_dispatcher(
+        self, mp_id: str
+    ) -> Callable[[object, float, float], None]:
         """Reverse-link handler routing trades/heartbeats to the right OB.
 
         The target is resolved per message, not captured at build time:
@@ -391,18 +548,19 @@ class DBODeployment(BaseDeployment):
         shard failure rewrites ``self._shard_routing`` — messages already
         in flight must land on whoever owns the participant on arrival.
         """
-        if self.n_ob_shards <= 1:
+        if self.master_ob is None:
             component_id = "ob"
 
-            def resolve():
+            def resolve() -> Union[OrderingBuffer, ShardOB]:
+                assert self.ordering_buffer is not None
                 return self.ordering_buffer
         else:
             component_id = self._shard_routing[mp_id].shard_id
 
-            def resolve():
+            def resolve() -> Union[OrderingBuffer, ShardOB]:
                 return self._shard_routing[mp_id]
 
-        def process(message, arrival_time: float) -> None:
+        def process(message: object, arrival_time: float) -> None:
             target = resolve()
             if isinstance(message, TaggedTrade):
                 target.on_tagged_trade(message, arrival_time, arrival_time)
@@ -414,7 +572,7 @@ class DBODeployment(BaseDeployment):
                 raise TypeError(f"unexpected reverse-path message: {message!r}")
 
         if self.ob_service_time <= 0.0:
-            def dispatch(message, send_time: float, arrival_time: float) -> None:
+            def dispatch(message: object, send_time: float, arrival_time: float) -> None:
                 process(message, arrival_time)
 
             return dispatch
@@ -434,7 +592,7 @@ class DBODeployment(BaseDeployment):
         queue = self._ob_service_queues[component_id]
         queue.connect(process)
 
-        def dispatch(message, send_time: float, arrival_time: float) -> None:
+        def dispatch(message: object, send_time: float, arrival_time: float) -> None:
             queue.submit(message)
 
         return dispatch
@@ -485,7 +643,9 @@ class DBODeployment(BaseDeployment):
         self.ob_failovers += 1
         return lost
 
-    def _on_ob_adoption(self, handoff, send_time: float, arrival_time: float) -> None:
+    def _on_ob_adoption(
+        self, handoff: tuple, send_time: float, arrival_time: float
+    ) -> None:
         """Deliver the crashed OB's durable state to its standby."""
         old, standby = handoff
         standby.adopt_release_log(old.released_keys)
@@ -515,7 +675,14 @@ class DBODeployment(BaseDeployment):
             raise RuntimeError("no surviving shard to reroute participants to")
         orphans = [mp for mp, shard in self._shard_routing.items() if shard is dead]
         lost = dead.fail()
-        self.master_ob.remove_shard(shard_id, self.engine.now)
+        if shard_id in self._agg_parent:
+            # Tree mode: whoever parents the shard stops waiting on it.
+            self._resolve_agg_parent(shard_id).remove_child(shard_id, self.engine.now)
+            timer = self._agg_timers.pop(shard_id, None)
+            if timer is not None:
+                timer.cancel()
+        else:
+            self.master_ob.remove_shard(shard_id, self.engine.now)
         for index, mp in enumerate(sorted(orphans)):
             target = survivors[index % len(survivors)]
             target.adopt_participant(mp)
@@ -523,6 +690,52 @@ class DBODeployment(BaseDeployment):
         self._failed_shards.add(shard_id)
         self.shard_failures += 1
         return lost
+
+    def fail_aggregator(self, node_id: str) -> None:
+        """Fail-stop one interior aggregation-tree node and re-parent its
+        children under the dead node's own parent.
+
+        A transparent node queues nothing, so its death loses zero trades
+        — the hazard is purely on the watermark plane.  Two mechanisms
+        keep the hand-over safe:
+
+        * orphans are adopted with a ``None`` watermark, which stalls the
+          adopting parent's merged minimum until each orphan's first
+          post-failure summary arrives — and on the uniform-latency FIFO
+          tree edges those arrive *after* every trade the dead node had
+          already forwarded;
+        * the dead node is retired via
+          :meth:`~repro.core.aggregation.HeartbeatAggregator.reassign_child`,
+          so its in-flight forwarded trades are honoured on arrival (its
+          last merged watermark regresses into a surviving child as a
+          belt-and-braces lower bound) while its stale summaries are
+          dropped.
+
+        Orphans re-publish immediately so the stall lasts one edge
+        latency, not a full summary tick.
+        """
+        node = self._agg_nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown aggregator {node_id!r}")
+        if node.failed:
+            raise RuntimeError(f"aggregator {node_id!r} already failed")
+        parent = self._resolve_agg_parent(node_id)
+        parent_id = self._agg_parent[node_id]
+        node.fail()
+        timer = self._agg_timers.pop(node_id, None)
+        if timer is not None:
+            timer.cancel()
+        orphans = node.child_ids
+        for child_id in orphans:
+            self._agg_parent[child_id] = parent_id
+            parent.add_child(child_id)
+        into_id = next(
+            child_id for child_id in parent.child_ids if child_id != node_id
+        )
+        parent.reassign_child(node_id, into_id, self.engine.now)
+        for child_id in orphans:
+            self._agg_publishers[child_id]()
+        self.aggregator_failures += 1
 
     def _start(self, duration: float) -> None:
         self.batcher.start(0.0)
@@ -542,6 +755,15 @@ class DBODeployment(BaseDeployment):
             # Stagger heartbeat phases so τ-periodic sends don't synchronize.
             offset = self.runtime.uniform(0.0, self.params.tau, index, 200)
             rb.start_heartbeats(start_time=offset)
+        if self._agg_publishers:
+            # Tree mode: one summary per node per tick, phases staggered
+            # like the RB heartbeats so ticks don't synchronize.
+            period = self._agg_summary_period()
+            for index, node_id in enumerate(sorted(self._agg_publishers)):
+                offset = self.runtime.uniform(0.0, period, index, 300)
+                self._agg_timers[node_id] = self.engine.schedule_periodic(
+                    offset, period, self._agg_publishers[node_id], priority=3
+                )
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
@@ -632,6 +854,31 @@ class DBODeployment(BaseDeployment):
             counters["shard_heartbeats_processed"] = sum(
                 shard.heartbeats_processed for shard in self.shards
             )
+            if self.topology is not None and self.topology.enabled:
+                # The master's entire heartbeat-plane workload: one merge
+                # per child summary.  O(tree width × ticks), not O(N) —
+                # the scaling benchmark pins this against heartbeats_sent.
+                counters["ob_heartbeats_processed"] = float(
+                    self.master_ob.summaries_processed
+                )
+                counters["agg_tree_width"] = float(len(self.master_ob.child_ids))
+                counters["agg_tree_nodes"] = float(
+                    len(self.shards) + len(self._agg_nodes)
+                )
+                counters["agg_summaries_published"] = float(
+                    sum(shard.summaries_published for shard in self.shards)
+                    + sum(
+                        node.summaries_published for node in self._agg_nodes.values()
+                    )
+                )
+                counters["agg_trades_forwarded"] = float(
+                    sum(node.trades_forwarded for node in self._agg_nodes.values())
+                )
+                if self.aggregator_failures:
+                    counters["aggregator_failures"] = float(self.aggregator_failures)
+                    counters["master_late_shard_messages"] = float(
+                        self.master_ob.late_shard_messages
+                    )
             if self.shard_failures:
                 counters["shard_failures"] = float(self.shard_failures)
                 counters["trades_lost_to_crash"] = float(

@@ -170,6 +170,37 @@ def _plan_dup_delivery(duration: float, n: int) -> FaultSchedule:
     )
 
 
+def _plan_drift_storm(duration: float, n: int) -> FaultSchedule:
+    """Clock-drift storm over one aggregation subtree (DBO only).
+
+    Even-index participants are exactly shard-0's round-robin subtree in
+    a two-shard (or fanout-2 tree) deployment, so the storm skews one
+    aggregator subtree's heartbeat cadence while the other subtree stays
+    on tempo.  Overlapping windows mix a fast clock, a crawling clock
+    (cadence ~5x slow — an auditor armed with
+    ``expected_heartbeat_period`` flags the ``heartbeat_gap``), and a
+    second fast burst.  DBO consumes clock *intervals*, not absolutes,
+    and the skew re-anchor keeps every reading continuous, so the
+    ε-fairness and ordering invariants must survive unchanged — the
+    paper's drift-robustness claim under storm conditions.
+    """
+    targets = [f"mp{index}" for index in range(0, n, 2)][:3]
+    magnitudes = (0.05, -0.8, 0.12)
+    return FaultSchedule.of(
+        *[
+            FaultSpec(
+                kind="clock_drift",
+                at=(0.15 + 0.1 * slot) * duration,
+                duration=0.45 * duration,
+                target=target,
+                magnitude=magnitudes[slot % len(magnitudes)],
+            )
+            for slot, target in enumerate(targets)
+        ],
+        name="drift-storm",
+    )
+
+
 CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
     "link-flaky": _plan_link_flaky,
     "latency-spike": _plan_latency_spike,
@@ -180,6 +211,7 @@ CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
     "gateway-stall": _plan_gateway_stall,
     "ack-loss": _plan_ack_loss,
     "dup-delivery": _plan_dup_delivery,
+    "drift-storm": _plan_drift_storm,
 }
 
 

@@ -252,7 +252,7 @@ def figure10_latency_cdfs(
     text = render_cdf(samples, value_label="end-to-end trade latency (us)")
     series = {
         name: [(value, prob) for value, prob in _cdf_series(vals)]
-        for name, vals in samples.items()
+        for name, vals in sorted(samples.items())
     }
     return FigureResult("figure10", series, text, extra={"samples": samples})
 

@@ -23,6 +23,11 @@ incorrectness):
 
 * **progress_stall** — trades are queued but none released for longer
   than ``stall_timeout`` while the feed is active.
+* **heartbeat_gap** — with ``expected_heartbeat_period`` set, a
+  participant's OB-observed heartbeat inter-arrival gap exceeded
+  ``heartbeat_gap_factor × period``.  Clock-drift faults slow a skewed
+  RB's cadence; this surfaces the off-tempo participant without calling
+  the (latency-only) degradation unsafe.
 
 For non-DBO schemes (no delivery clocks) the auditor degrades to the
 checks that still make sense: duplicate submission and forward-time
@@ -39,7 +44,7 @@ from repro.exchange.messages import Heartbeat, TaggedTrade
 __all__ = ["InvariantAuditor", "AuditReport", "Violation"]
 
 SAFETY_KINDS = ("release_order", "duplicate_release", "watermark_regression")
-LIVENESS_KINDS = ("progress_stall",)
+LIVENESS_KINDS = ("progress_stall", "heartbeat_gap")
 
 
 @dataclass(frozen=True)
@@ -115,15 +120,33 @@ class InvariantAuditor:
         probe (it needs an engine timer; the safety checks are passive).
     stall_check_interval:
         Probe cadence; defaults to ``stall_timeout / 4``.
+    expected_heartbeat_period:
+        τ of the deployment under audit.  When set, the auditor records a
+        ``heartbeat_gap`` liveness event the first time a participant's
+        heartbeat inter-arrival gap exceeds
+        ``heartbeat_gap_factor × period`` — drift-storm awareness.
+        ``None`` (default) disables the check.
+    heartbeat_gap_factor:
+        Gap tolerance multiplier (network jitter and piggyback
+        suppression make modest gaps normal; the default flags a cadence
+        at least 4× off-tempo).
     """
 
     def __init__(
         self,
         stall_timeout: Optional[float] = 50_000.0,
         stall_check_interval: Optional[float] = None,
+        expected_heartbeat_period: Optional[float] = None,
+        heartbeat_gap_factor: float = 4.0,
     ) -> None:
         if stall_timeout is not None and stall_timeout <= 0:
             raise ValueError("stall_timeout must be positive")
+        if expected_heartbeat_period is not None and expected_heartbeat_period <= 0:
+            raise ValueError("expected_heartbeat_period must be positive")
+        if heartbeat_gap_factor <= 1.0:
+            raise ValueError("heartbeat_gap_factor must exceed 1")
+        self.expected_heartbeat_period = expected_heartbeat_period
+        self.heartbeat_gap_factor = heartbeat_gap_factor
         self.stall_timeout = stall_timeout
         self.stall_check_interval = (
             stall_check_interval
@@ -140,6 +163,10 @@ class InvariantAuditor:
         self._released_keys: Set[Tuple[str, int]] = set()
         # Per-participant heartbeat watermark state.
         self._last_heartbeat_stamp: Dict[str, Tuple[int, float]] = {}
+        # Per-participant heartbeat arrival times (heartbeat_gap check);
+        # one event per participant per off-tempo episode.
+        self._last_heartbeat_arrival: Dict[str, float] = {}
+        self._gap_reported: Set[str] = set()
         # Non-DBO fallback state.
         self._last_forward_time: Optional[float] = None
         # Stall-probe state.
@@ -226,6 +253,26 @@ class InvariantAuditor:
             self._last_release_stamp = stamp
 
     def _on_heartbeat(self, heartbeat: Heartbeat, arrival: float) -> None:
+        if self.expected_heartbeat_period is not None:
+            previous_arrival = self._last_heartbeat_arrival.get(heartbeat.mp_id)
+            self._last_heartbeat_arrival[heartbeat.mp_id] = arrival
+            if previous_arrival is not None:
+                gap = arrival - previous_arrival
+                limit = self.heartbeat_gap_factor * self.expected_heartbeat_period
+                if gap > limit:
+                    if heartbeat.mp_id not in self._gap_reported:
+                        self._gap_reported.add(heartbeat.mp_id)
+                        self._record(
+                            "heartbeat_gap",
+                            arrival,
+                            f"heartbeat gap {gap:.1f} µs exceeds "
+                            f"{self.heartbeat_gap_factor:.1f}x period "
+                            f"{self.expected_heartbeat_period:.1f} µs",
+                            heartbeat.mp_id,
+                        )
+                else:
+                    # Back on tempo: allow a fresh event next episode.
+                    self._gap_reported.discard(heartbeat.mp_id)
         if heartbeat.clock is None:
             return
         self.heartbeats_checked += 1

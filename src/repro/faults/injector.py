@@ -94,13 +94,16 @@ class FaultInjector:
                 "partition",
                 "rb_crash",
                 "duplicate_delivery",
+                "clock_drift",
             }:
                 if fault.target not in mp_ids:
                     raise ValueError(
                         f"{kind} targets unknown participant {fault.target!r}"
                     )
-            if kind == "rb_crash" and not hasattr(deployment, "_rb_by_id"):
-                raise ValueError("rb_crash requires a DBO deployment")
+            if kind in {"rb_crash", "clock_drift"} and not hasattr(
+                deployment, "_rb_by_id"
+            ):
+                raise ValueError(f"{kind} requires a DBO deployment")
             if kind == "ob_failover":
                 if not hasattr(deployment, "failover_ob"):
                     raise ValueError("ob_failover requires a DBO deployment")
@@ -205,6 +208,8 @@ class FaultInjector:
                     )
         elif kind == "rb_crash":
             deployment._rb_by_id[fault.target].crash()
+        elif kind == "clock_drift":
+            deployment._rb_by_id[fault.target].apply_clock_skew(fault.magnitude)
         elif kind == "ob_failover":
             deployment.failover_ob()
         elif kind == "shard_failure":
@@ -248,6 +253,8 @@ class FaultInjector:
                     self._degraded[(fault.target, direction)].clear()
         elif kind == "rb_crash":
             deployment._rb_by_id[fault.target].restart()
+        elif kind == "clock_drift":
+            deployment._rb_by_id[fault.target].clear_clock_skew()
         elif kind == "gateway_stall":
             deployment.egress_gateway.resume(deployment.engine.now)
         else:  # pragma: no cover - permanent kinds schedule no recovery

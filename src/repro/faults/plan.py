@@ -35,6 +35,14 @@ Supported kinds
     message is delivered twice with probability ``magnitude`` (retry
     storms, misbehaving middleboxes).  Receivers must dedup — the OB by
     trade key, data channels by point/batch identity.
+``clock_drift``
+    The target participant's RB local clock suddenly drifts faster
+    (positive ``magnitude``) or slower (negative) by that rate — an NTP
+    step or thermal event.  The clock reading stays continuous; the RB's
+    heartbeat cadence follows the skewed clock.  With a ``duration`` the
+    original drift rate is restored afterwards.  DBO only consumes clock
+    *intervals*, so drift must never break safety — the claim the
+    ``drift-storm`` chaos plan stresses.
 
 Addressing
 ----------
@@ -63,6 +71,7 @@ FAULT_KINDS = frozenset(
         "shard_failure",
         "gateway_stall",
         "duplicate_delivery",
+        "clock_drift",
     }
 )
 
@@ -140,7 +149,7 @@ class FaultSpec:
         if self.kind in _CHANNEL_KINDS:
             if not self.target and not self.channel:
                 raise ValueError(f"{self.kind} requires a target or a channel")
-        elif self.kind in {"rb_crash", "shard_failure"}:
+        elif self.kind in {"rb_crash", "shard_failure", "clock_drift"}:
             if not self.target:
                 raise ValueError(f"{self.kind} requires a target")
         if self.kind in _CHANNEL_KINDS and self.direction not in _DIRECTIONS:
@@ -149,6 +158,12 @@ class FaultSpec:
             raise ValueError("link_burst_loss needs magnitude in (0, 1]")
         if self.kind == "duplicate_delivery" and not 0.0 < self.magnitude <= 1.0:
             raise ValueError("duplicate_delivery needs magnitude in (0, 1]")
+        if self.kind == "clock_drift":
+            if self.magnitude <= -1.0:
+                raise ValueError("clock_drift magnitude must exceed -1 (the "
+                                 "clock cannot run backwards)")
+            if self.magnitude == 0.0:
+                raise ValueError("clock_drift must change the drift rate")
         if self.kind == "latency_degradation":
             if self.magnitude < 0:
                 raise ValueError("latency_degradation magnitude (extra µs) must be >= 0")

@@ -132,6 +132,6 @@ def data_delivery_latencies(result: RunResult, mp_id: str) -> Dict[int, float]:
     deliveries = result.delivery_times.get(mp_id, {})
     return {
         point_id: delivered - result.generation_times[point_id]
-        for point_id, delivered in deliveries.items()
+        for point_id, delivered in sorted(deliveries.items())
         if point_id in result.generation_times
     }

@@ -29,6 +29,11 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
+def _point_key(item) -> int:
+    """Numeric sort for JSON-stringified point-id keys ("10" after "2")."""
+    return int(item[0])
+
+
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
     """A JSON-safe dict capturing the full run (bounds materialized)."""
     bounds: Optional[List[float]] = None
@@ -52,16 +57,22 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             }
             for t in result.trades
         ],
-        # JSON objects have string keys; convert back on load.
-        "generation_times": {str(k): v for k, v in result.generation_times.items()},
-        "network_send_times": {str(k): v for k, v in result.network_send_times.items()},
+        # JSON objects have string keys; convert back on load.  Sorted
+        # iteration everywhere: the on-disk key order must not depend on
+        # dict insertion history (DBO103).
+        "generation_times": {
+            str(k): v for k, v in sorted(result.generation_times.items())
+        },
+        "network_send_times": {
+            str(k): v for k, v in sorted(result.network_send_times.items())
+        },
         "raw_arrivals": {
-            mp: {str(k): v for k, v in points.items()}
-            for mp, points in result.raw_arrivals.items()
+            mp: {str(k): v for k, v in sorted(points.items())}
+            for mp, points in sorted(result.raw_arrivals.items())
         },
         "delivery_times": {
-            mp: {str(k): v for k, v in points.items()}
-            for mp, points in result.delivery_times.items()
+            mp: {str(k): v for k, v in sorted(points.items())}
+            for mp, points in sorted(result.delivery_times.items())
         },
         "max_rtt_bounds": bounds,
     }
@@ -94,15 +105,21 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
     return RunResult(
         scheme=data["scheme"],
         trades=trades,
-        generation_times={int(k): v for k, v in data["generation_times"].items()},
-        network_send_times={int(k): v for k, v in data["network_send_times"].items()},
+        generation_times={
+            int(k): v
+            for k, v in sorted(data["generation_times"].items(), key=_point_key)
+        },
+        network_send_times={
+            int(k): v
+            for k, v in sorted(data["network_send_times"].items(), key=_point_key)
+        },
         raw_arrivals={
-            mp: {int(k): v for k, v in points.items()}
-            for mp, points in data["raw_arrivals"].items()
+            mp: {int(k): v for k, v in sorted(points.items(), key=_point_key)}
+            for mp, points in sorted(data["raw_arrivals"].items())
         },
         delivery_times={
-            mp: {int(k): v for k, v in points.items()}
-            for mp, points in data["delivery_times"].items()
+            mp: {int(k): v for k, v in sorted(points.items(), key=_point_key)}
+            for mp, points in sorted(data["delivery_times"].items())
         },
         reverse_latency_at=None,
         duration=data["duration"],

@@ -44,7 +44,9 @@ class CellSpec:
     ``plan`` is a named chaos plan (run clean + faulted twins via
     :func:`repro.experiments.chaos.run_chaos`) or ``None`` for a plain
     run.  ``scheme_kwargs`` reach the deployment constructor (e.g. an FBA
-    ``batch_interval`` short enough for the duration).
+    ``batch_interval`` short enough for the duration, or a frozen —
+    hence picklable — :class:`~repro.core.params.AggregationTopology`
+    selecting the hierarchical heartbeat tree for DBO cells).
     """
 
     scheme: str

@@ -127,3 +127,41 @@ class TestDegradationReport:
         assert deg.p99_inflation >= 1.0  # faults never improve p99 here
         assert deg.to_dict()["p99_inflation"] == deg.p99_inflation
         assert -5.0 <= deg.fairness_drop_pct <= 100.0
+
+
+class TestDriftStorm:
+    """The clock_drift satellite: ε-robustness must survive drift storms."""
+
+    def run_once(self, **kwargs):
+        plan = make_plan("drift-storm", 8_000.0, 4)
+        return run_chaos(
+            "dbo", specs_factory(), duration=8_000.0, plan=plan, seed=5, **kwargs
+        )
+
+    def test_storm_targets_one_subtree(self):
+        # Even-index participants only: shard-0's round-robin subtree.
+        plan = make_plan("drift-storm", 8_000.0, 6)
+        assert [f.target for f in plan] == ["mp0", "mp2", "mp4"]
+        assert all(f.kind == "clock_drift" for f in plan)
+        assert all(f.ends_at is not None and f.ends_at < 8_000.0 for f in plan)
+
+    def test_flat_run_stays_safe(self):
+        report = self.run_once()
+        assert report.safe
+        assert report.injector_summary["faults_fired"] == 2
+        assert report.injector_summary["faults_recovered"] == 2
+        assert report.degradation.faulted_completion == 1.0
+
+    def test_tree_run_stays_safe(self):
+        from repro.core.params import AggregationTopology
+
+        report = self.run_once(topology=AggregationTopology(fanout=2, depth=2))
+        assert report.safe
+        assert report.faulted_audit.safety_violations == []
+        assert report.degradation.faulted_completion == 1.0
+
+    def test_storm_is_deterministic(self):
+        first = self.run_once()
+        second = self.run_once()
+        assert first.faulted_digest == second.faulted_digest
+        assert first.to_dict() == second.to_dict()

@@ -138,3 +138,90 @@ class TestLiveRuns:
         assert len(stalls) == 1  # one episode, reported once
         assert "queued" in stalls[0].detail
         assert report.ok  # a stall is not a safety violation
+
+
+class TestHeartbeatGap:
+    def make(self, period=10.0, factor=4.0):
+        return InvariantAuditor(
+            stall_timeout=None,
+            expected_heartbeat_period=period,
+            heartbeat_gap_factor=factor,
+        )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="expected_heartbeat_period"):
+            InvariantAuditor(expected_heartbeat_period=0.0)
+        with pytest.raises(ValueError, match="heartbeat_gap_factor"):
+            InvariantAuditor(heartbeat_gap_factor=1.0)
+
+    def test_disabled_by_default(self):
+        auditor = InvariantAuditor(stall_timeout=None)
+        auditor._on_heartbeat(Heartbeat("a", DeliveryClockStamp(1, 1.0)), 0.0)
+        auditor._on_heartbeat(Heartbeat("a", DeliveryClockStamp(2, 1.0)), 1e6)
+        assert auditor.report().violations == []
+
+    def test_off_tempo_gap_flagged_once_per_episode(self):
+        auditor = self.make()
+        auditor._on_heartbeat(Heartbeat("a", DeliveryClockStamp(1, 1.0)), 0.0)
+        auditor._on_heartbeat(Heartbeat("a", DeliveryClockStamp(2, 1.0)), 100.0)
+        auditor._on_heartbeat(Heartbeat("a", DeliveryClockStamp(3, 1.0)), 200.0)
+        report = auditor.report()
+        assert [v.kind for v in report.violations] == ["heartbeat_gap"]
+        assert report.violations[0].mp_id == "a"
+        # Liveness, not safety: the run is degraded, never unsafe.
+        assert report.ok
+
+    def test_new_episode_after_recovery_flagged_again(self):
+        auditor = self.make()
+        arrivals = [0.0, 100.0, 110.0, 120.0, 250.0]  # gap, on-tempo, gap
+        for index, arrival in enumerate(arrivals):
+            auditor._on_heartbeat(
+                Heartbeat("a", DeliveryClockStamp(index + 1, 1.0)), arrival
+            )
+        assert [v.kind for v in auditor.report().violations] == [
+            "heartbeat_gap", "heartbeat_gap",
+        ]
+
+    def test_gap_within_tolerance_not_flagged(self):
+        auditor = self.make(period=10.0, factor=4.0)
+        for index, arrival in enumerate([0.0, 12.0, 50.0, 90.0]):  # <= 4x period
+            auditor._on_heartbeat(
+                Heartbeat("a", DeliveryClockStamp(index + 1, 1.0)), arrival
+            )
+        assert auditor.report().violations == []
+
+    def test_clockless_heartbeats_still_tracked_for_cadence(self):
+        # Piggyback-suppressed (clockless) heartbeats keep the cadence
+        # alive; the gap probe runs before the clock guard.
+        auditor = self.make()
+        auditor._on_heartbeat(Heartbeat("a", None), 0.0)
+        auditor._on_heartbeat(Heartbeat("a", None), 100.0)
+        assert [v.kind for v in auditor.report().violations] == ["heartbeat_gap"]
+        assert auditor.heartbeats_checked == 0
+
+    def test_live_drift_storm_surfaces_gap(self):
+        # A crawling clock (5x slow cadence) must show up as a
+        # heartbeat_gap liveness event while the run stays safe.
+        from repro.core.params import AggregationTopology
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultSchedule, FaultSpec
+
+        params = DBOParams(delta=20.0)
+        deployment = DBODeployment(
+            specs(4), params=params, seed=5,
+            topology=AggregationTopology(fanout=2, depth=2),
+        )
+        plan = FaultSchedule.of(
+            FaultSpec(kind="clock_drift", at=1_000.0, duration=5_000.0,
+                      target="mp0", magnitude=-0.8)
+        )
+        FaultInjector(plan).arm(deployment)
+        auditor = InvariantAuditor(
+            expected_heartbeat_period=params.tau, heartbeat_gap_factor=4.0
+        )
+        auditor.attach(deployment)
+        deployment.run(duration=8_000.0)
+        report = auditor.report()
+        assert report.ok
+        gaps = [v for v in report.violations if v.kind == "heartbeat_gap"]
+        assert gaps and all(v.mp_id == "mp0" for v in gaps)

@@ -162,3 +162,70 @@ class TestDeterminism:
         assert digest_a == digest_b
         assert summary_a == summary_b
         assert counters_a == counters_b
+
+
+class TestClockDrift:
+    def plan(self, magnitude=0.05, duration=2_000.0):
+        return FaultSchedule.of(
+            FaultSpec(kind="clock_drift", at=1_000.0, duration=duration,
+                      target="mp0", magnitude=magnitude)
+        )
+
+    def test_needs_dbo(self):
+        with pytest.raises(ValueError, match="DBO"):
+            FaultInjector(self.plan()).arm(DirectDeployment(specs(), seed=3))
+
+    def test_fires_and_recovers(self):
+        deployment = dbo()
+        injector = FaultInjector(self.plan())
+        injector.arm(deployment)
+        deployment.run(duration=6_000.0)
+        assert injector.faults_fired == 1
+        assert injector.faults_recovered == 1
+        rb = deployment._rb_by_id["mp0"]
+        assert rb.clock_skews_applied == 1
+        # Recovery restored the original drift rate exactly.
+        baseline = dbo()
+        baseline.run(duration=6_000.0)
+        assert rb.local_clock.drift_rate == pytest.approx(
+            baseline._rb_by_id["mp0"].local_clock.drift_rate
+        )
+
+    def test_skew_keeps_stamps_monotone(self):
+        # The continuity re-anchor is the whole point: even a crawling
+        # clock (5x slow) must never regress a heartbeat watermark or
+        # release stamp.
+        from repro.faults.auditor import InvariantAuditor
+
+        deployment = dbo()
+        injector = FaultInjector(self.plan(magnitude=-0.8, duration=3_000.0))
+        injector.arm(deployment)
+        auditor = InvariantAuditor()
+        auditor.attach(deployment)
+        deployment.run(duration=8_000.0)
+        report = auditor.report()
+        assert report.ok
+        assert report.safety_violations == []
+
+    def test_compound_skews_stack_and_unwind(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="clock_drift", at=1_000.0, duration=4_000.0,
+                      target="mp0", magnitude=0.1),
+            FaultSpec(kind="clock_drift", at=2_000.0, duration=1_000.0,
+                      target="mp0", magnitude=0.2),
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        deployment.run(duration=8_000.0)
+        assert injector.faults_fired == 2
+        assert injector.faults_recovered == 2
+        rb = deployment._rb_by_id["mp0"]
+        assert rb.clock_skews_applied == 2
+        # clear_clock_skew restores the remembered base rate even after
+        # compounding, so the final drift matches an unfaulted twin.
+        baseline = dbo()
+        baseline.run(duration=8_000.0)
+        assert rb.local_clock.drift_rate == pytest.approx(
+            baseline._rb_by_id["mp0"].local_clock.drift_rate
+        )

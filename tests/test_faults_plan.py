@@ -126,7 +126,7 @@ class TestSchedule:
         assert FAULT_KINDS == {
             "link_burst_loss", "latency_degradation", "partition",
             "rb_crash", "ob_failover", "shard_failure", "gateway_stall",
-            "duplicate_delivery",
+            "duplicate_delivery", "clock_drift",
         }
 
 
@@ -180,3 +180,40 @@ class TestChannelAddressing:
         doc = FaultSpec(kind="partition", at=1.0, duration=2.0,
                         target="mp0").to_dict()
         assert "channel" not in doc
+
+
+class TestClockDriftSpec:
+    def test_valid_spec_accepted(self):
+        spec = FaultSpec(kind="clock_drift", at=10.0, duration=50.0,
+                         target="mp0", magnitude=0.05)
+        assert spec.ends_at == 60.0
+
+    def test_permanent_drift_allowed(self):
+        spec = FaultSpec(kind="clock_drift", at=10.0, target="mp0",
+                         magnitude=-0.5)
+        assert spec.ends_at is None
+
+    def test_target_required(self):
+        with pytest.raises(ValueError, match="requires a target"):
+            FaultSpec(kind="clock_drift", at=10.0, magnitude=0.05)
+
+    def test_zero_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="change the drift rate"):
+            FaultSpec(kind="clock_drift", at=10.0, target="mp0", magnitude=0.0)
+
+    def test_backwards_clock_rejected(self):
+        with pytest.raises(ValueError, match="exceed -1"):
+            FaultSpec(kind="clock_drift", at=10.0, target="mp0", magnitude=-1.0)
+
+    def test_channel_address_rejected(self):
+        with pytest.raises(ValueError, match="does not address a channel"):
+            FaultSpec(kind="clock_drift", at=10.0, channel="rev-mp0",
+                      magnitude=0.05)
+
+    def test_round_trips_through_json(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="clock_drift", at=5.0, duration=3.0, target="mp1",
+                      magnitude=-0.8),
+            name="drift",
+        )
+        assert FaultSchedule.from_json(plan.to_json()) == plan
