@@ -24,7 +24,8 @@ import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.core.params import AggregationTopology, DBOParams
+from repro.core.params import AggregationTopology, DBOParams, SupervisionPolicy
+from repro.core.release_buffer import RetransmitPolicy
 from repro.exchange.feed import FeedConfig
 from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
 from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
@@ -238,6 +239,22 @@ def _add_scheme_knobs(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--sync-c1", type=float, default=None,
                    help="enable §4.2.6 sync-assisted delivery with this target")
+    p.add_argument(
+        "--supervise", action="store_true",
+        help="arm the failure detector + supervised automatic recovery",
+    )
+    p.add_argument(
+        "--detector-window", type=int, default=8,
+        help="inter-pulse gap history per endpoint (with --supervise)",
+    )
+    p.add_argument(
+        "--confirm-after", type=int, default=2,
+        help="failed probes before a suspect is confirmed dead (with --supervise)",
+    )
+    p.add_argument(
+        "--retransmit", action="store_true",
+        help="arm the RB ack/retransmit protocol (implied by --supervise)",
+    )
     p.add_argument("--c1", type=float, default=50.0, help="CloudEx data threshold (µs)")
     p.add_argument("--c2", type=float, default=50.0, help="CloudEx trade threshold (µs)")
     p.add_argument("--batch-interval", type=float, default=100_000.0, help="FBA period (µs)")
@@ -280,6 +297,14 @@ def _scheme_kwargs(scheme: str, args) -> dict:
             )
         if args.sync_c1 is not None:
             kwargs["sync_target_c1"] = args.sync_c1
+        if args.supervise:
+            kwargs["supervise"] = True
+            kwargs["supervision_policy"] = SupervisionPolicy(
+                detector_window=args.detector_window,
+                confirm_after=args.confirm_after,
+            )
+        if args.retransmit or args.supervise:
+            kwargs["retransmit_policy"] = RetransmitPolicy()
         return kwargs
     if scheme == "cloudex":
         return dict(c1=args.c1, c2=args.c2)
@@ -416,6 +441,8 @@ def cmd_chaos(args) -> int:
             extra = f" (liveness: {counts})" if audit.ok and counts else ""
             print(f"audit [{label:>7}]: {verdict}{extra} — "
                   f"{audit.releases_checked} releases, {audit.heartbeats_checked} heartbeats checked")
+        print(f"digest [  clean]: {report.clean_digest}")
+        print(f"digest [faulted]: {report.faulted_digest}")
     if args.fail_on_violation and violated:
         print("chaos: safety violations detected", file=sys.stderr)
         return 1

@@ -104,8 +104,22 @@ class HeartbeatAggregator:
         # late *trades* are still honoured (nothing below the merged
         # watermark can be among them), late summaries are ignored.
         self._reassigned: Set[str] = set()
+        # Freeze-fence (warm-up recovery): children whose subtree
+        # composition just changed.  Summaries already in flight on
+        # their FIFO edge predate the change and must not advance the
+        # merge; each freeze pairs with exactly one fence message the
+        # child emits at freeze time, and the count drops on arrival.
+        self._frozen: Dict[str, int] = {}
+        # Children whose subtree composition has ever changed (frozen at
+        # least once).  A releasing child's forward stream is monotone in
+        # stamp only *within* one composition — across an adoption it
+        # restarts lower (the orphans' backlog) — so the min2
+        # self-exception (see MasterOB._try_release) is permanently
+        # unsound for them and falls back to the plain minimum bound.
+        self._rebuilt: Set[str] = set()
         self.summaries_processed = 0
         self.late_child_messages = 0
+        self.fences_received = 0
 
     # -- compatibility alias (the §5.2 two-level counters/report names) --
     @property
@@ -133,6 +147,8 @@ class HeartbeatAggregator:
         self._watermarks[child_id] = watermark
         self._retired.discard(child_id)
         self._reassigned.discard(child_id)
+        self._frozen.pop(child_id, None)
+        self._rebuilt.discard(child_id)
 
     def remove_child(self, child_id: str, now: float = 0.0) -> None:
         """Stop waiting on a failed child (§5.2 failure handling).
@@ -145,6 +161,8 @@ class HeartbeatAggregator:
             raise KeyError(f"unknown child {child_id!r}")
         del self._watermarks[child_id]
         self._retired.add(child_id)
+        self._frozen.pop(child_id, None)
+        self._rebuilt.discard(child_id)
         if self._watermarks:
             self._on_watermarks_advanced(now)
 
@@ -178,6 +196,59 @@ class HeartbeatAggregator:
             self._watermarks[into_id] = min(into_watermark, dead_watermark)
         self._reassigned.add(dead_id)
         self._retired.add(dead_id)
+        self._frozen.pop(dead_id, None)
+
+    def regress_child(
+        self, child_id: str, bound: Optional[DeliveryClockStamp]
+    ) -> None:
+        """Conservatively lower ``child_id``'s stored watermark.
+
+        Shard retirement reroutes orphans into surviving shards; until an
+        adopter's first summary *covering its orphans* arrives, its old
+        watermark here is a lie — resends still in flight can carry
+        stamps below it.  ``None`` stalls the merge on this child
+        entirely; a stamp clamps to ``min(current, bound)``.  A plain
+        regression is not enough by itself: stale summaries still in
+        flight on the child's FIFO edge can re-raise the entry — pair it
+        with :meth:`freeze_child` (and the child's fence) for that.
+        """
+        if child_id not in self._watermarks:
+            raise KeyError(f"unknown child {child_id!r}")
+        current = self._watermarks[child_id]
+        if bound is None or current is None:
+            self._watermarks[child_id] = None
+        else:
+            self._watermarks[child_id] = min(current, bound)
+
+    def freeze_child(self, child_id: str) -> None:
+        """Regress ``child_id`` to ``None`` and ignore its summaries
+        until a fence arrives.
+
+        Called when the child's subtree composition changes (it adopted
+        orphans): every summary already in flight on its FIFO edge
+        predates the change and must not advance the merge.  The caller
+        makes the child emit exactly one fence on the same edge at the
+        same instant — the fence trails the stale summaries, and
+        :meth:`on_child_fence` lifts the freeze when it lands.  Freezes
+        nest (repeated failures): each pairs with its own fence.
+        """
+        self.regress_child(child_id, None)
+        self._frozen[child_id] = self._frozen.get(child_id, 0) + 1
+        self._rebuilt.add(child_id)
+
+    def on_child_fence(self, child_id: str, now: float = 0.0) -> None:
+        """A freeze fence landed: summaries behind it are fresh again."""
+        if child_id not in self._watermarks:
+            if child_id in self._retired:
+                self.late_child_messages += 1
+                return
+            raise KeyError(f"unknown child {child_id!r}")
+        self.fences_received += 1
+        count = self._frozen.get(child_id, 0)
+        if count <= 1:
+            self._frozen.pop(child_id, None)
+        else:
+            self._frozen[child_id] = count - 1
 
     # ------------------------------------------------------------------
     # Watermark merge
@@ -192,6 +263,11 @@ class HeartbeatAggregator:
                 return
             raise KeyError(f"unknown child {child_id!r}")
         self.summaries_processed += 1
+        if self._frozen.get(child_id, 0) > 0:
+            # Sent before the child's fence: it describes the child's
+            # *old* subtree and could vouch for stamps that rerouted
+            # resends still undercut.
+            return
         current = self._watermarks[child_id]
         if watermark is not None and (current is None or watermark > current):
             self._watermarks[child_id] = watermark
@@ -264,11 +340,54 @@ class MasterOB(HeartbeatAggregator):
         # through a different shard after a shard failure must not reach
         # the matching engine twice.
         self._released: Set[Tuple[str, int]] = set()
+        # Push-based warm-up (aggregator recovery): while non-empty,
+        # releases are held until every listed participant's marker
+        # arrives from below (see OrderingBuffer.begin_warmup).
+        self._warmup_pending: Set[str] = set()
         self.trades_released = 0
         self.duplicates_ignored = 0
+        self.warmup_holds = 0
+        self.warmup_markers_received = 0
+        self.warmup_timeouts = 0
 
     def set_sink(self, sink: ReleaseSink) -> None:
         self.sink = sink
+
+    # ------------------------------------------------------------------
+    # Push-based warm-up (supervised recovery)
+    # ------------------------------------------------------------------
+    @property
+    def warming_up(self) -> bool:
+        return bool(self._warmup_pending)
+
+    def begin_warmup(self, mp_ids: "Sequence[str] | Set[str]") -> None:
+        """Hold releases until each listed RB's recovery marker arrives.
+
+        Used after an interior aggregator crash: in-window trades the
+        dead node dropped are re-collected from the subtree's RBs, and
+        the markers ride the same FIFO edges as the re-forwards, so the
+        hold lifts exactly when the window is complete.
+        """
+        pending = set(mp_ids)
+        if not pending:
+            return
+        self._warmup_pending |= pending
+        self.warmup_holds += 1
+
+    def on_child_marker(self, mp_id: str, now: float) -> None:
+        """A warm-up fence forwarded up the tree reached the root."""
+        if mp_id in self._warmup_pending:
+            self._warmup_pending.discard(mp_id)
+            self.warmup_markers_received += 1
+            if not self._warmup_pending:
+                self._try_release(now)
+
+    def end_warmup(self, now: float) -> None:
+        """Force-lift the warm-up hold (supervisor safety valve)."""
+        if self._warmup_pending:
+            self._warmup_pending.clear()
+            self.warmup_timeouts += 1
+            self._try_release(now)
 
     # -- compatibility aliases (§5.2 two-level API) ---------------------
     def remove_shard(self, shard_id: str, now: float = 0.0) -> None:
@@ -306,7 +425,10 @@ class MasterOB(HeartbeatAggregator):
         if tagged.trade.key in self._released:
             self.duplicates_ignored += 1
             return
-        if self.releasing_children:
+        if self.releasing_children and not self._frozen.get(child_id):
+            # While frozen, in-flight forwards predate the composition
+            # change: rerouted resends may still undercut their stamps,
+            # so they prove nothing about the child's future stream.
             stamp: DeliveryClockStamp = tagged.clock
             current = self._watermarks[child_id]
             if current is None or stamp > current:
@@ -333,13 +455,24 @@ class MasterOB(HeartbeatAggregator):
         self._try_release(now)
 
     def _try_release(self, now: float) -> None:
+        if self._warmup_pending:
+            # Warm-up hold: re-collected resends may still be in flight.
+            return
         min1, min1_child, min2 = self._watermark_extremes()
         if min1 is None:
             return
         use_exception = self.releasing_children
         while self._heap:
             stamp_tuple, child_id, _, _, _ = self._heap[0]
-            bound = min2 if (use_exception and child_id == min1_child) else min1
+            bound = (
+                min2
+                if (
+                    use_exception
+                    and child_id == min1_child
+                    and child_id not in self._rebuilt
+                )
+                else min1
+            )
             if stamp_tuple >= bound.as_tuple():
                 break
             _, _, _, _, tagged = heapq.heappop(self._heap)
@@ -413,6 +546,32 @@ class ForwardingAggregator(HeartbeatAggregator):
         if self.failed:
             return
         super().on_child_summary(child_id, watermark, now)
+
+    def on_child_marker(self, mp_id: str, now: float) -> None:
+        """Forward a warm-up fence upstream (same FIFO edge as trades)."""
+        if self.failed:
+            return
+        if self._upstream is None:
+            raise RuntimeError(f"aggregator {self.node_id!r} has no upstream")
+        self._upstream(("marker", mp_id))
+
+    def on_child_fence(self, child_id: str, now: float = 0.0) -> None:
+        if self.failed:
+            return
+        super().on_child_fence(child_id, now)
+
+    def send_fence(self) -> None:
+        """Emit this node's own freeze fence on its upstream edge.
+
+        Paired with the parent's :meth:`freeze_child` for this node:
+        summaries of ours still in flight above predate the composition
+        change below us and must be ignored until this lands.
+        """
+        if self.failed:
+            return
+        if self._upstream is None:
+            raise RuntimeError(f"aggregator {self.node_id!r} has no upstream")
+        self._upstream(("fence", self.node_id))
 
     def publish_tick(self) -> None:
         """Emit the merged subtree minimum upstream (one message per tick)."""

@@ -113,6 +113,9 @@ class OrderingBuffer:
         ] = (None, None, None)
         self._min2_mp: Optional[str] = None
         self._ext_dirty = True
+        # Push-based warm-up (recovery): while non-empty, releases are
+        # held until every listed participant's RecoveryMarker arrives.
+        self._warmup_pending: Set[str] = set()
         self.trades_received = 0
         self.trades_released = 0
         self.heartbeats_processed = 0
@@ -121,6 +124,9 @@ class OrderingBuffer:
         self.retransmits_ignored = 0
         self.straggler_ejections = 0
         self.straggler_readmissions = 0
+        self.warmup_holds = 0
+        self.warmup_markers_received = 0
+        self.warmup_timeouts = 0
 
     # ------------------------------------------------------------------
     def set_sink(self, sink: ReleaseSink) -> None:
@@ -326,6 +332,10 @@ class OrderingBuffer:
         by the trade itself (in-order delivery: nothing earlier from ``m``
         can still be in flight).
         """
+        if self._warmup_pending:
+            # Warm-up hold: some RB's unacked window is still being
+            # re-collected, so a lower-stamped trade may yet arrive.
+            return
         if self.incremental_extremes:
             self._check_silent_stragglers(now)
             if self._ext_dirty:
@@ -368,6 +378,7 @@ class OrderingBuffer:
         lost = len(self._heap)
         self._heap.clear()
         self._queued.clear()
+        self._warmup_pending.clear()
         for state in self.states.values():
             state.watermark = None
             state.last_heartbeat_arrival = None
@@ -402,6 +413,42 @@ class OrderingBuffer:
     # ------------------------------------------------------------------
     # Recovery / failover support
     # ------------------------------------------------------------------
+    @property
+    def warming_up(self) -> bool:
+        """True while releases are held pending recovery markers."""
+        return bool(self._warmup_pending)
+
+    def begin_warmup(self, mp_ids: Iterable[str]) -> None:
+        """Hold releases until each listed RB's recovery marker arrives.
+
+        Push-based recovery: the promoted/adopting OB asks the affected
+        RBs to resend their unacked windows; the FIFO reverse channels
+        guarantee each RB's :class:`~repro.exchange.messages.RecoveryMarker`
+        trails its resends, so lifting the hold on the last marker is a
+        proof that every resent trade is already queued here.
+        """
+        pending = set(mp_ids)
+        if not pending:
+            return
+        self._warmup_pending |= pending
+        self.warmup_holds += 1
+
+    def on_recovery_marker(self, mp_id: str, now: float) -> None:
+        """A warm-up fence arrived; lift the hold once all are in."""
+        if mp_id in self._warmup_pending:
+            self._warmup_pending.discard(mp_id)
+            self.warmup_markers_received += 1
+            if not self._warmup_pending:
+                self._try_release(now)
+
+    def end_warmup(self, now: float) -> None:
+        """Force-lift the warm-up hold (the supervisor's safety valve,
+        for markers lost to compound faults)."""
+        if self._warmup_pending:
+            self._warmup_pending.clear()
+            self.warmup_timeouts += 1
+            self._try_release(now)
+
     def add_participant(self, mp_id: str) -> None:
         """Start waiting on a new participant (shard rerouting).
 
@@ -438,3 +485,6 @@ class OrderingBuffer:
         self.retransmits_ignored += predecessor.retransmits_ignored
         self.straggler_ejections += predecessor.straggler_ejections
         self.straggler_readmissions += predecessor.straggler_readmissions
+        self.warmup_holds += predecessor.warmup_holds
+        self.warmup_markers_received += predecessor.warmup_markers_received
+        self.warmup_timeouts += predecessor.warmup_timeouts

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["DBOParams", "AggregationTopology"]
+__all__ = ["DBOParams", "AggregationTopology", "SupervisionPolicy"]
 
 
 @dataclass(frozen=True)
@@ -126,3 +126,48 @@ class AggregationTopology:
         """Leaf count when the deployment did not pin ``n_ob_shards``:
         one shard per ``fanout`` participants."""
         return max(1, (n_participants + self.fanout - 1) // self.fanout)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Failure-detection and supervised-recovery knobs.
+
+    The :class:`~repro.faults.detector.FailureDetector` scores each
+    monitored endpoint with a phi-accrual-style suspicion: the time since
+    the endpoint's last observed pulse, divided by the windowed mean of
+    its recent inter-pulse gaps.  The :class:`~repro.core.supervisor.Supervisor`
+    escalates SUSPECT endpoints through deterministic probes before it
+    confirms death and drives a recovery protocol.
+
+    Frozen and hashable so it travels through the scheme registry and
+    pickles into :class:`~repro.parallel.matrix.CellSpec` workers.
+    """
+
+    # Inter-pulse gap history per endpoint (sliding window length).
+    detector_window: int = 8
+    # Detector poll cadence in µs; ``None`` inherits the deployment's
+    # heartbeat period τ.
+    check_interval: float | None = None
+    # SUSPECT once (now - last_pulse) exceeds this many expected gaps.
+    suspect_after: float = 3.0
+    # CONFIRM_DEAD after this many consecutive failed probes.
+    confirm_after: int = 2
+    # Probe k waits ``check_interval * probe_backoff**k`` before the next.
+    probe_backoff: float = 2.0
+    # Safety valve: a warm-up hold is force-lifted after this many µs if
+    # a recovery marker was itself lost to a compound fault.
+    warmup_timeout: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.detector_window < 2:
+            raise ValueError("detector_window must be at least 2")
+        if self.check_interval is not None and self.check_interval <= 0:
+            raise ValueError("check_interval must be positive when set")
+        if self.suspect_after <= 1.0:
+            raise ValueError("suspect_after must exceed 1 expected gap")
+        if self.confirm_after < 1:
+            raise ValueError("confirm_after must be at least 1")
+        if self.probe_backoff < 1.0:
+            raise ValueError("probe_backoff must be at least 1.0")
+        if self.warmup_timeout <= 0:
+            raise ValueError("warmup_timeout must be positive")

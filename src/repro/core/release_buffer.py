@@ -28,7 +28,14 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.delivery_clock import DeliveryClock, DeliveryClockStamp
-from repro.exchange.messages import Heartbeat, MarketDataBatch, MarketDataPoint, TaggedTrade, TradeOrder
+from repro.exchange.messages import (
+    Heartbeat,
+    MarketDataBatch,
+    MarketDataPoint,
+    RecoveryMarker,
+    TaggedTrade,
+    TradeOrder,
+)
 from repro.net.latency import LatencyModel
 from repro.sim.clocks import Clock, PerfectClock
 from repro.sim.engine import EventEngine, PeriodicTimer
@@ -42,6 +49,7 @@ MPDeliveryHandler = Callable[[Tuple[MarketDataPoint, ...], float], None]
 # Sink receiving tagged trades / heartbeats (the reverse link's send).
 TradeSink = Callable[[TaggedTrade], None]
 HeartbeatSink = Callable[[Heartbeat], None]
+MarkerSink = Callable[[RecoveryMarker], None]
 
 
 @dataclass(frozen=True)
@@ -139,6 +147,7 @@ class ReleaseBuffer:
         self._mp_handler: Optional[MPDeliveryHandler] = None
         self._trade_sink: Optional[TradeSink] = None
         self._heartbeat_sink: Optional[HeartbeatSink] = None
+        self._marker_sink: Optional[MarkerSink] = None
 
         self._queue: Deque[MarketDataBatch] = deque()
         self._delivery_scheduled = False
@@ -169,7 +178,12 @@ class ReleaseBuffer:
         # stamp is resent verbatim: re-tagging would move the trade later
         # in the order, and the OB dedups on the key anyway.
         self._unacked: Dict[Tuple[str, int], TaggedTrade] = {}
+        # key -> (attempts so far, next scheduled resend time); mirrors
+        # _unacked so the auditor can report in-flight backoff state.
+        self._retry_state: Dict[Tuple[str, int], Tuple[int, float]] = {}
         self.trades_retransmitted = 0
+        self.trades_warmup_resent = 0
+        self.warmup_requests_served = 0
         self.retransmits_abandoned = 0
         self.acks_received = 0
         self.batches_dropped_crashed = 0
@@ -188,10 +202,21 @@ class ReleaseBuffer:
         """Attach the participant's data-delivery handler."""
         self._mp_handler = handler
 
-    def connect_ob(self, trade_sink: TradeSink, heartbeat_sink: HeartbeatSink) -> None:
-        """Attach the reverse-path sinks toward the ordering buffer."""
+    def connect_ob(
+        self,
+        trade_sink: TradeSink,
+        heartbeat_sink: HeartbeatSink,
+        marker_sink: Optional[MarkerSink] = None,
+    ) -> None:
+        """Attach the reverse-path sinks toward the ordering buffer.
+
+        All sinks must feed the *same* FIFO channel: the warm-up protocol
+        relies on a :class:`RecoveryMarker` never overtaking the resends
+        it fences.
+        """
         self._trade_sink = trade_sink
         self._heartbeat_sink = heartbeat_sink
+        self._marker_sink = marker_sink
 
     # ------------------------------------------------------------------
     # Forward path: batches in, paced deliveries out
@@ -211,6 +236,7 @@ class ReleaseBuffer:
         # Fail-stop loses volatile state: in-flight retransmission
         # obligations die with the process.
         self._unacked.clear()
+        self._retry_state.clear()
 
     def restart(self, start_time: Optional[float] = None) -> None:
         """Bring a crashed RB back up (§4.2.1 failure scenario).
@@ -324,6 +350,7 @@ class ReleaseBuffer:
         tagged = TaggedTrade(trade=trade, clock=stamp, tagged_at=now)
         if self.retransmit_policy is not None:
             self._unacked[trade.key] = tagged
+            self._retry_state[trade.key] = (0, now + self.retransmit_policy.timeout)
             self.engine.schedule_at(
                 now + self.retransmit_policy.timeout,
                 self._retransmit_check,
@@ -338,6 +365,7 @@ class ReleaseBuffer:
     def on_ack(self, key: Tuple[str, int]) -> None:
         """The OB released this trade; stop guarding it."""
         if self._unacked.pop(key, None) is not None:
+            self._retry_state.pop(key, None)
             self.acks_received += 1
 
     def _retransmit_check(self, key: Tuple[str, int], attempt: int) -> None:
@@ -351,16 +379,68 @@ class ReleaseBuffer:
             # "system will incur unfairness" fallback.
             self.retransmits_abandoned += 1
             del self._unacked[key]
+            self._retry_state.pop(key, None)
             return
         self.trades_retransmitted += 1
         self._trade_sink(tagged)
         delay = policy.timeout * (policy.backoff ** attempt)
+        self._retry_state[key] = (attempt, self.engine.now + delay)
         self.engine.schedule_at(
             self.engine.now + delay,
             self._retransmit_check,
             priority=4,
             args=(key, attempt + 1),
         )
+
+    def resend_unacked(self, requested_at: float) -> int:
+        """Push-based warm-up: resend the whole unacked window *now*.
+
+        A promoted/adopting OB calls this (via the ``ob-adopt`` control
+        channel) instead of waiting for per-trade retransmit timeouts.
+        Resends go out in sorted key order for determinism, followed by a
+        :class:`RecoveryMarker` fence on the same FIFO reverse channel,
+        so the requester knows exactly when the window is fully re-sent.
+        Returns the number of trades resent.
+        """
+        if self.crashed or self._trade_sink is None:
+            return 0
+        resent = 0
+        for key in sorted(self._unacked):
+            self._trade_sink(self._unacked[key])
+            resent += 1
+        # Warm-up resends are retransmissions too — the cumulative
+        # counter keeps meaning "copies sent beyond the original".
+        self.trades_retransmitted += resent
+        self.trades_warmup_resent += resent
+        self.warmup_requests_served += 1
+        if self._marker_sink is not None:
+            self._marker_sink(
+                RecoveryMarker(
+                    mp_id=self.mp_id, requested_at=requested_at, resent=resent
+                )
+            )
+        return resent
+
+    def recovery_state(self) -> Dict[str, Optional[float]]:
+        """Snapshot of the in-flight retransmission obligations.
+
+        Surfaced through the auditor's report so a stalled recovery
+        (unacked trades whose backoff is exhausted or still pending at
+        drain time) is first-class audit evidence.  ``next_resend`` is
+        ``None`` when nothing is awaiting a resend.
+        """
+        max_attempt = 0
+        next_resend: Optional[float] = None
+        for attempt, resend_at in self._retry_state.values():
+            max_attempt = max(max_attempt, attempt)
+            if next_resend is None or resend_at < next_resend:
+                next_resend = resend_at
+        return {
+            "unacked": float(len(self._unacked)),
+            "max_attempt": float(max_attempt),
+            "next_resend": next_resend,
+            "retransmits_abandoned": float(self.retransmits_abandoned),
+        }
 
     # ------------------------------------------------------------------
     # Heartbeats

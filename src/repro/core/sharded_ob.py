@@ -28,7 +28,7 @@ builder; ``MasterOB`` is re-exported for backward compatibility.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.aggregation import MasterOB, UpstreamSend
 from repro.core.delivery_clock import DeliveryClockStamp
@@ -113,6 +113,7 @@ class ShardOB:
         )
         self.heartbeats_processed = 0
         self.summaries_published = 0
+        self.trades_reforwarded = 0
         self._hop_link = None
         if hop_latency is not None:
             if engine is None:
@@ -141,6 +142,10 @@ class ShardOB:
         assert self.master is not None
         if kind == "trade":
             self.master.on_shard_trade(self.shard_id, payload, arrival_time)
+        elif kind == "marker":
+            self.master.on_child_marker(payload, arrival_time)
+        elif kind == "fence":
+            self.master.on_child_fence(self.shard_id, arrival_time)
         else:
             self.master.on_shard_summary(self.shard_id, payload, arrival_time)
 
@@ -162,7 +167,58 @@ class ShardOB:
         self._inner.add_participant(mp_id)
 
     # ------------------------------------------------------------------
+    # Push-based warm-up (supervised recovery)
+    # ------------------------------------------------------------------
+    @property
+    def warming_up(self) -> bool:
+        return self._inner.warming_up
+
+    def begin_warmup(self, mp_ids: Iterable[str]) -> None:
+        """Hold this shard's releases until the listed RBs' markers land.
+
+        While warming, :meth:`publish_summary` reports ``None`` — the
+        master must not advance its merged minimum off watermark state
+        that held-back resends could still undercut.
+        """
+        self._inner.begin_warmup(mp_ids)
+
+    def on_recovery_marker(self, mp_id: str, now: float) -> None:
+        """Consume a warm-up fence, or forward it toward the master.
+
+        A marker this shard is waiting on lifts (part of) its own hold;
+        any other marker belongs to a master-level warm-up (aggregator
+        recovery) and travels upstream as a ``("marker", mp_id)`` tuple
+        on the same FIFO edge as the trades it fences.
+        """
+        if mp_id in self._inner._warmup_pending:
+            self._inner.on_recovery_marker(mp_id, now)
+            if not self._inner.warming_up and self._eager_summaries:
+                self.publish_summary(now)
+            return
+        if self._parent_send is not None:
+            self._parent_send(("marker", mp_id))
+        elif self._hop_link is not None:
+            self._hop_link.send(("marker", mp_id))
+        else:
+            assert self.master is not None
+            self.master.on_child_marker(mp_id, now)
+
+    def end_warmup(self, now: float) -> None:
+        """Force-lift the warm-up hold (supervisor safety valve)."""
+        if self._inner.warming_up:
+            self._inner.end_warmup(now)
+            if self._eager_summaries:
+                self.publish_summary(now)
+
+    # ------------------------------------------------------------------
     def on_tagged_trade(self, tagged: TaggedTrade, send_time: float, arrival_time: float) -> None:
+        if tagged.trade.key in self._inner._released:
+            # A retransmit of a trade this shard already forwarded up.
+            # The copy above us may have died with a failed aggregator,
+            # so re-forward it: the master's key-dedup absorbs the
+            # duplicate if the original made it through.
+            self.trades_reforwarded += 1
+            self._forward_up(tagged, arrival_time)
         self._inner.on_tagged_trade(tagged, send_time, arrival_time)
         if self._eager_summaries:
             self.publish_summary(arrival_time)
@@ -188,8 +244,10 @@ class ShardOB:
 
         Called inline after every message in the eager (§5.2) mode, or by
         a per-shard :class:`~repro.sim.engine.PeriodicTimer` in tree mode.
+        While warming up, ``None`` is published regardless of the subset
+        state: resends still in flight could carry stamps below it.
         """
-        watermark = self._subset_watermark()
+        watermark = None if self._inner.warming_up else self._subset_watermark()
         self.summaries_published += 1
         if self._parent_send is not None:
             self._parent_send(("summary", watermark))
@@ -198,6 +256,21 @@ class ShardOB:
         else:
             assert self.master is not None
             self.master.on_shard_summary(self.shard_id, watermark, now)
+
+    def publish_fence(self, now: float = 0.0) -> None:
+        """Emit a freeze fence upstream (same FIFO edge as summaries).
+
+        Sent once at the instant this shard adopts orphans: the parent
+        froze our stored watermark, and every summary of ours ahead of
+        this message describes the pre-adoption subset.
+        """
+        if self._parent_send is not None:
+            self._parent_send(("fence", self.shard_id))
+        elif self._hop_link is not None:
+            self._hop_link.send(("fence", self.shard_id))
+        else:
+            assert self.master is not None
+            self.master.on_child_fence(self.shard_id, now)
 
     # Backwards-compatible private alias (older tests drive it directly).
     _publish_summary = publish_summary

@@ -21,12 +21,19 @@ from repro.core.aggregation import ForwardingAggregator, plan_tree
 from repro.core.batcher import Batcher
 from repro.core.gateway import EgressGateway
 from repro.core.ordering_buffer import OrderingBuffer
-from repro.core.params import AggregationTopology, DBOParams
+from repro.core.params import AggregationTopology, DBOParams, SupervisionPolicy
 from repro.core.release_buffer import ReleaseBuffer, RetransmitPolicy
 from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
+from repro.core.supervisor import Supervisor
 from repro.core.sync_delivery import SyncAssistedReleaseBuffer
 from repro.exchange.feed import FeedConfig
-from repro.exchange.messages import Heartbeat, MarketDataBatch, TaggedTrade
+from repro.exchange.messages import (
+    Heartbeat,
+    MarketDataBatch,
+    RecoveryMarker,
+    TaggedTrade,
+)
+from repro.faults.detector import FailureDetector
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.multicast import MulticastGroup
 from repro.net.transport import Channel
@@ -111,6 +118,8 @@ class DBODeployment(BaseDeployment):
         ob_incremental_extremes: bool = True,
         retransmit_policy: Optional[RetransmitPolicy] = None,
         enable_egress_gateway: bool = False,
+        supervise: bool = False,
+        supervision_policy: Optional[SupervisionPolicy] = None,
         runtime: Optional[Runtime] = None,
     ) -> None:
         super().__init__(
@@ -189,6 +198,29 @@ class DBODeployment(BaseDeployment):
         self._failed_shards: set = set()
         self.ob_failovers = 0
         self.shard_failures = 0
+        # ----- self-healing control plane (detected-mode recovery) ------
+        # ``supervise`` arms the deterministic failure detector + the
+        # supervisor that escalates suspicions into the recovery methods
+        # below.  Crash halves (``crash_ob`` / ``crash_shard`` /
+        # ``crash_aggregator``) mark components dead so the dispatchers
+        # drop their traffic — the resulting frozen odometers are the
+        # detection signal; the scripted ``failover_ob`` / ``fail_shard``
+        # / ``fail_aggregator`` compose a crash with its recovery half.
+        self.supervise = supervise
+        if supervision_policy is None and supervise:
+            supervision_policy = SupervisionPolicy()
+        self.supervision_policy = supervision_policy
+        self.detector: Optional[FailureDetector] = None
+        self.supervisor: Optional[Supervisor] = None
+        self._ob_crashed = False
+        self._crashed_shards: set = set()
+        self._retired_aggs: set = set()
+        self.messages_dropped_dead = 0
+        self._warmup_timeout = (
+            supervision_policy.warmup_timeout
+            if supervision_policy is not None
+            else 10_000.0
+        )
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -374,7 +406,11 @@ class DBODeployment(BaseDeployment):
             )
             self.reverse_channels[mp_id] = reverse
 
-            rb.connect_ob(trade_sink=reverse.send, heartbeat_sink=reverse.send)
+            rb.connect_ob(
+                trade_sink=reverse.send,
+                heartbeat_sink=reverse.send,
+                marker_sink=reverse.send,
+            )
 
             if self.retransmit_policy is not None:
                 # OB→RB acks ride their own constant-latency channel at
@@ -498,6 +534,12 @@ class DBODeployment(BaseDeployment):
                 parent = self._resolve_agg_parent(child_id)
                 if kind == "trade":
                     parent.on_child_trade(child_id, payload, arrival_time)
+                elif kind == "marker":
+                    # A warm-up fence climbing toward the master on the
+                    # same FIFO edge as the resends it trails.
+                    parent.on_child_marker(payload, arrival_time)
+                elif kind == "fence":
+                    parent.on_child_fence(child_id, arrival_time)
                 else:
                     parent.on_child_summary(child_id, payload, arrival_time)
 
@@ -561,13 +603,35 @@ class DBODeployment(BaseDeployment):
                 return self._shard_routing[mp_id]
 
         def process(message: object, arrival_time: float) -> None:
+            if self.detector is not None:
+                # Any reverse-channel arrival proves this RB is alive.
+                self.detector.pulse(f"rb:{mp_id}", arrival_time)
             target = resolve()
+            # A crashed component processes nothing; its frozen odometers
+            # are what the failure detector keys on.  Messages keep being
+            # dropped until the supervisor (or a scripted recovery)
+            # reroutes the participant.
+            if self.master_ob is None:
+                if self._ob_crashed:
+                    self.messages_dropped_dead += 1
+                    return
+            elif (
+                isinstance(target, ShardOB)
+                and target.shard_id in self._crashed_shards
+            ):
+                self.messages_dropped_dead += 1
+                return
             if isinstance(message, TaggedTrade):
                 target.on_tagged_trade(message, arrival_time, arrival_time)
             elif isinstance(message, Heartbeat):
                 target.on_heartbeat(message, arrival_time, arrival_time)
                 for observer in self._heartbeat_observers:
                     observer(message, arrival_time)
+            elif isinstance(message, RecoveryMarker):
+                # Warm-up fence: trails this RB's resends on the FIFO
+                # reverse channel, so its arrival proves the requested
+                # window is fully re-delivered.
+                target.on_recovery_marker(message.mp_id, arrival_time)
             else:  # pragma: no cover - wiring error
                 raise TypeError(f"unexpected reverse-path message: {message!r}")
 
@@ -607,22 +671,59 @@ class DBODeployment(BaseDeployment):
     # Failure handling (§4.2.1, §5.2) — driven by the fault injector
     # ------------------------------------------------------------------
     def failover_ob(self) -> int:
-        """Crash the flat OB and promote a cold standby.
+        """Crash the flat OB and immediately promote a cold standby.
+
+        The scripted composition of :meth:`crash_ob` and
+        :meth:`promote_standby`; detected mode fires only the crash half
+        and lets the supervisor drive the promotion once the detector
+        confirms the silence.  Returns the number of trades the dead OB
+        lost.
+        """
+        lost = self.crash_ob()
+        self.promote_standby()
+        return lost
+
+    def crash_ob(self) -> int:
+        """Fail-stop the flat OB without promoting a standby.
+
+        Every trade in its queue is lost; from here on the reverse-link
+        dispatchers drop its traffic, so its odometers freeze — the
+        signal the failure detector keys on.  Returns the number of
+        trades lost.
+        """
+        if self.ordering_buffer is None:
+            raise RuntimeError("OB failover requires the flat (non-sharded) deployment")
+        if self._ob_crashed:
+            raise RuntimeError("OB already crashed and not yet replaced")
+        lost = self.ordering_buffer.crash()
+        self._ob_crashed = True
+        return lost
+
+    def promote_standby(self) -> None:
+        """Promote a cold standby in place of the crashed flat OB.
 
         The standby starts with empty queue and watermarks (rebuilt from
         the next heartbeat round) but inherits the release log — the
         matching engine is part of the durable CES platform, so which
-        trades it has consumed survives the crash.  With a retransmit
-        policy on the RBs, every trade lost from the dead OB's queue is
-        resent and eventually released: zero lost trades.  Without one,
-        the queue contents are gone (the paper's stated unfairness).
+        trades it has consumed survives the crash.
 
-        Returns the number of trades the dead OB lost.
+        With a retransmit policy armed, promotion runs the push-based
+        warm-up: the standby holds all releases
+        (:meth:`~repro.core.ordering_buffer.OrderingBuffer.begin_warmup`)
+        while every live RB resends its unacked window followed by a
+        :class:`~repro.exchange.messages.RecoveryMarker` on the same FIFO
+        reverse channel.  When the last marker lands, the heap holds
+        every recoverable trade and releases resume in stamp order —
+        zero lost trades *and* no old-stamp release after a newer one,
+        which is what keeps the LRTF audit clean and the trade digest
+        identical to a scripted failover.  Without a policy, the queue
+        contents are simply gone (the paper's stated unfairness).
         """
         if self.ordering_buffer is None:
             raise RuntimeError("OB failover requires the flat (non-sharded) deployment")
+        if not self._ob_crashed:
+            raise RuntimeError("no crashed OB to replace")
         old = self.ordering_buffer
-        lost = old.crash()
         standby = OrderingBuffer(
             participants=list(self.mp_ids),
             sink=self._release_sink,
@@ -635,13 +736,35 @@ class DBODeployment(BaseDeployment):
         # the durable state hand-off (release log + counters) travels on
         # the "ob-adopt" channel, delivered ahead of any same-time data.
         self.ordering_buffer = standby
+        self._ob_crashed = False
         if self._ob_adopt_channel is not None:
             self._ob_adopt_channel.send((old, standby), send_time=self.engine.now)
         else:  # pragma: no cover - _build always opens the channel
             standby.adopt_release_log(old.released_keys)
             standby.carry_over_counters(old)
+        if self.retransmit_policy is not None:
+            now = self.engine.now
+            live = [
+                mp_id for mp_id in self.mp_ids
+                if not self._rb_by_id[mp_id].crashed
+            ]
+            if live:
+                standby.begin_warmup(live)
+                for mp_id in live:
+                    self._rb_by_id[mp_id].resend_unacked(now)
+                self._schedule_warmup_valve(standby)
         self.ob_failovers += 1
-        return lost
+
+    def _schedule_warmup_valve(self, component: object) -> None:
+        """Arm the warm-up safety valve: markers are one-shot, so a
+        compound fault (the reverse channel blackholed mid-recovery) must
+        not hold releases forever."""
+        self.engine.schedule_after(
+            self._warmup_timeout, self._warmup_valve, priority=6, args=(component,)
+        )
+
+    def _warmup_valve(self, component: object) -> None:
+        component.end_warmup(self.engine.now)  # type: ignore[attr-defined]
 
     def _on_ob_adoption(
         self, handoff: tuple, send_time: float, arrival_time: float
@@ -652,44 +775,151 @@ class DBODeployment(BaseDeployment):
         standby.carry_over_counters(old)
 
     def fail_shard(self, shard_id: str) -> int:
-        """Fail-stop one OB shard and reroute its participants.
+        """Fail-stop one OB shard and immediately reroute its participants.
 
-        The master stops waiting on the dead shard's watermark, surviving
-        shards adopt its participants round-robin, and the reverse-link
-        dispatchers pick up the new routing on the next arrival.  Trades
-        queued inside the dead shard are lost (recoverable only via RB
-        retransmission).  Returns the number of trades lost.
+        The scripted composition of :meth:`crash_shard` and
+        :meth:`retire_shard`; detected mode fires only the crash half and
+        lets the supervisor retire the shard once the detector confirms
+        the silence.  Returns the number of trades lost.
         """
-        if self.master_ob is None:
-            raise RuntimeError("shard failure requires n_ob_shards > 1")
-        dead = next((s for s in self.shards if s.shard_id == shard_id), None)
-        if dead is None:
+        self._shard_survivors(shard_id)  # validate before killing anything
+        lost = self.crash_shard(shard_id)
+        self.retire_shard(shard_id)
+        return lost
+
+    def _find_shard(self, shard_id: str) -> ShardOB:
+        shard = next((s for s in self.shards if s.shard_id == shard_id), None)
+        if shard is None:
             raise KeyError(f"unknown shard {shard_id!r}")
+        return shard
+
+    def _shard_survivors(self, shard_id: str) -> List[ShardOB]:
+        dead = self._find_shard(shard_id)
         if shard_id in self._failed_shards:
             raise RuntimeError(f"shard {shard_id!r} already failed")
         survivors = [
             s for s in self.shards
             if s is not dead and s.shard_id not in self._failed_shards
+            and s.shard_id not in self._crashed_shards
         ]
         if not survivors:
             raise RuntimeError("no surviving shard to reroute participants to")
-        orphans = [mp for mp, shard in self._shard_routing.items() if shard is dead]
+        return survivors
+
+    def crash_shard(self, shard_id: str) -> int:
+        """Fail-stop one OB shard without rerouting its participants.
+
+        Every trade queued inside it is lost and the dispatchers drop its
+        traffic from here on (frozen odometers are the detection signal).
+        Returns the number of trades lost.
+        """
+        if self.master_ob is None:
+            raise RuntimeError("shard failure requires n_ob_shards > 1")
+        dead = self._find_shard(shard_id)
+        if shard_id in self._failed_shards:
+            raise RuntimeError(f"shard {shard_id!r} already failed")
+        if shard_id in self._crashed_shards:
+            raise RuntimeError(f"shard {shard_id!r} already crashed")
         lost = dead.fail()
+        self._crashed_shards.add(shard_id)
+        return lost
+
+    def retire_shard(self, shard_id: str) -> int:
+        """Splice a crashed shard out and reroute its orphans.
+
+        The shard's parent stops waiting on its watermark, surviving
+        shards adopt its participants round-robin, and the reverse-link
+        dispatchers pick up the new routing on the next arrival.
+
+        With a retransmit policy armed, each adopter runs the push-based
+        warm-up over the orphans it inherited: it holds its releases (and
+        publishes ``None`` summaries) while the orphans' RBs resend their
+        unacked windows, and every stored watermark on the adopter's path
+        to the master regresses to ``None``
+        (:meth:`~repro.core.aggregation.HeartbeatAggregator.regress_child`)
+        so the merge cannot release above stamps the in-flight resends
+        could still undercut.  Returns the number of orphans rerouted.
+        """
+        if self.master_ob is None:
+            raise RuntimeError("shard failure requires n_ob_shards > 1")
+        survivors = self._shard_survivors(shard_id)
+        if shard_id not in self._crashed_shards:
+            raise RuntimeError(f"shard {shard_id!r} has not crashed")
+        dead = self._find_shard(shard_id)
+        now = self.engine.now
+        orphans = sorted(
+            mp for mp, shard in self._shard_routing.items() if shard is dead
+        )
+        adopters: Dict[str, List[str]] = {}
+        for index, mp in enumerate(orphans):
+            target = survivors[index % len(survivors)]
+            target.adopt_participant(mp)
+            self._shard_routing[mp] = target
+            adopters.setdefault(target.shard_id, []).append(mp)
+        # Warm-up and path regression MUST precede splicing the dead
+        # shard out of the merge: removing its frozen (low) watermark
+        # raises the merge bound and would release queued live-shard
+        # trades above stamps the orphans' resends still undercut.
+        if self.retransmit_policy is not None and orphans:
+            for adopter_id in sorted(adopters):
+                adopter = self._find_shard(adopter_id)
+                adopter.begin_warmup(adopters[adopter_id])
+                self._regress_to_master(adopter_id)
+                self._schedule_warmup_valve(adopter)
         if shard_id in self._agg_parent:
             # Tree mode: whoever parents the shard stops waiting on it.
-            self._resolve_agg_parent(shard_id).remove_child(shard_id, self.engine.now)
+            self._resolve_agg_parent(shard_id).remove_child(shard_id, now)
             timer = self._agg_timers.pop(shard_id, None)
             if timer is not None:
                 timer.cancel()
         else:
-            self.master_ob.remove_shard(shard_id, self.engine.now)
-        for index, mp in enumerate(sorted(orphans)):
-            target = survivors[index % len(survivors)]
-            target.adopt_participant(mp)
-            self._shard_routing[mp] = target
+            self.master_ob.remove_shard(shard_id, now)
+        self._crashed_shards.discard(shard_id)
         self._failed_shards.add(shard_id)
+        if self.retransmit_policy is not None and orphans:
+            for mp in orphans:
+                rb = self._rb_by_id[mp]
+                if not rb.crashed:
+                    rb.resend_unacked(now)
+        if self.detector is not None:
+            self.detector.retire(f"shard:{shard_id}")
         self.shard_failures += 1
-        return lost
+        return len(orphans)
+
+    def _regress_to_master(self, child_id: str) -> None:
+        """Freeze ``child_id``'s stored watermark at every ancestor up
+        to the master, with a fence emitted per hop.
+
+        A bare regression to ``None`` is insufficient twice over: (a)
+        ``None`` summaries are ignored on arrival, so a regression at
+        only one level would wash out at the next; (b) stale summaries
+        already in flight on each edge would re-raise the regressed
+        entry the moment they land.  So every ancestor *freezes* the
+        path child's entry and the child emits a fence on the same FIFO
+        edge — the fence trails the stale summaries and lifts the
+        freeze, after which only post-adoption summaries count.
+        """
+        current = child_id
+        while True:
+            parent_id = self._agg_parent.get(current)
+            if parent_id is None or parent_id == "master":
+                # Classic two-level mode, or the top of the tree: the
+                # master parents ``current`` directly.
+                assert self.master_ob is not None
+                self.master_ob.freeze_child(current)
+                self._emit_fence(current)
+                return
+            self._agg_nodes[parent_id].freeze_child(current)
+            self._emit_fence(current)
+            current = parent_id
+
+    def _emit_fence(self, child_id: str) -> None:
+        """Have ``child_id`` send its freeze fence on its upstream edge."""
+        node = self._agg_nodes.get(child_id)
+        if node is not None:
+            node.send_fence()
+        else:
+            self._find_shard(child_id).publish_fence(self.engine.now)
 
     def fail_aggregator(self, node_id: str) -> None:
         """Fail-stop one interior aggregation-tree node and re-parent its
@@ -714,17 +944,48 @@ class DBODeployment(BaseDeployment):
         Orphans re-publish immediately so the stall lasts one edge
         latency, not a full summary tick.
         """
+        self.crash_aggregator(node_id)
+        self.recover_aggregator(node_id)
+
+    def crash_aggregator(self, node_id: str) -> None:
+        """Fail-stop one interior tree node without re-parenting.
+
+        The node stops merging, forwarding and publishing; its children's
+        upstream traffic is dropped on arrival until a recovery
+        re-parents them (frozen odometers are the detection signal).
+        """
         node = self._agg_nodes.get(node_id)
         if node is None:
             raise KeyError(f"unknown aggregator {node_id!r}")
         if node.failed:
             raise RuntimeError(f"aggregator {node_id!r} already failed")
-        parent = self._resolve_agg_parent(node_id)
-        parent_id = self._agg_parent[node_id]
         node.fail()
         timer = self._agg_timers.pop(node_id, None)
         if timer is not None:
             timer.cancel()
+
+    def recover_aggregator(self, node_id: str) -> None:
+        """Re-parent a crashed interior node's children and re-collect.
+
+        With a retransmit policy armed, the crash window is healed by a
+        master-level warm-up: every RB under the dead node's subtree
+        resends its unacked window, the resends are re-forwarded up the
+        (re-parented) tree, and the master holds all releases until the
+        trailing markers climb to it — so trades the dead node dropped
+        rejoin the heap before anything newer releases.
+        """
+        node = self._agg_nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown aggregator {node_id!r}")
+        if not node.failed:
+            raise RuntimeError(f"aggregator {node_id!r} has not crashed")
+        if node_id in self._retired_aggs:
+            raise RuntimeError(f"aggregator {node_id!r} already recovered")
+        assert self.master_ob is not None
+        now = self.engine.now
+        parent = self._resolve_agg_parent(node_id)
+        parent_id = self._agg_parent[node_id]
+        subtree_mps = self._subtree_mps(node_id)
         orphans = node.child_ids
         for child_id in orphans:
             self._agg_parent[child_id] = parent_id
@@ -732,10 +993,40 @@ class DBODeployment(BaseDeployment):
         into_id = next(
             child_id for child_id in parent.child_ids if child_id != node_id
         )
-        parent.reassign_child(node_id, into_id, self.engine.now)
+        parent.reassign_child(node_id, into_id, now)
         for child_id in orphans:
             self._agg_publishers[child_id]()
+        self._retired_aggs.add(node_id)
+        if self.retransmit_policy is not None:
+            live = [
+                mp_id for mp_id in subtree_mps
+                if not self._rb_by_id[mp_id].crashed
+            ]
+            if live:
+                self.master_ob.begin_warmup(live)
+                for mp_id in live:
+                    self._rb_by_id[mp_id].resend_unacked(now)
+                self._schedule_warmup_valve(self.master_ob)
+        if self.detector is not None:
+            self.detector.retire(f"agg:{node_id}")
         self.aggregator_failures += 1
+
+    def _subtree_mps(self, node_id: str) -> List[str]:
+        """Participants whose reverse path climbs through ``node_id``."""
+        shard_ids: set = set()
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            interior = self._agg_nodes.get(current)
+            if interior is None:
+                shard_ids.add(current)
+            else:
+                stack.extend(interior.child_ids)
+        return sorted(
+            mp_id
+            for mp_id, shard in self._shard_routing.items()
+            if shard.shard_id in shard_ids
+        )
 
     def _start(self, duration: float) -> None:
         self.batcher.start(0.0)
@@ -764,6 +1055,114 @@ class DBODeployment(BaseDeployment):
                 self._agg_timers[node_id] = self.engine.schedule_periodic(
                     offset, period, self._agg_publishers[node_id], priority=3
                 )
+        if self.supervise:
+            self._start_supervision(duration)
+
+    def _start_supervision(self, duration: float) -> None:
+        """Arm the failure detector + supervisor (detected-mode recovery).
+
+        Both are pure observers of existing signals — reverse-channel
+        arrivals and component odometers — so a fault-free supervised run
+        releases trade-for-trade identically to an unsupervised one.
+        Checks and escalations stop at ``duration``: drain-phase silence
+        is the feed ending, not a failure.
+        """
+        policy = self.supervision_policy
+        assert policy is not None
+        interval = (
+            policy.check_interval
+            if policy.check_interval is not None
+            else self.params.tau
+        )
+        detector = FailureDetector(self.engine, policy, check_interval=interval)
+        self.detector = detector
+        for mp_id in self.mp_ids:
+            detector.register(f"rb:{mp_id}")
+        if self.master_ob is None:
+            detector.register("ob", poll=self._ob_odometer)
+        else:
+            for shard in self.shards:
+                detector.register(
+                    f"shard:{shard.shard_id}",
+                    poll=lambda shard=shard: float(
+                        shard.heartbeats_processed + shard.summaries_published
+                    ),
+                )
+            for node_id in sorted(self._agg_nodes):
+                node = self._agg_nodes[node_id]
+                detector.register(
+                    f"agg:{node_id}",
+                    poll=lambda node=node: float(
+                        node.summaries_published + node.trades_forwarded
+                    ),
+                )
+        detector.register("feed", poll=lambda: float(self.ces.points_generated))
+        if self.egress_gateway is not None:
+            gateway = self.egress_gateway
+            detector.register(
+                "gateway", poll=lambda: float(gateway.messages_released)
+            )
+        self.supervisor = Supervisor(
+            self.engine, detector, policy, self._supervised_recover
+        )
+        # Stagger the check phase like every other periodic plane (its
+        # own substream salt), so checks never synchronize with τ ticks.
+        offset = self.runtime.uniform(0.0, interval, 0, 400)
+        detector.start(offset, duration)
+        self.supervisor.start(duration)
+
+    def _ob_odometer(self) -> float:
+        ob = self.ordering_buffer
+        assert ob is not None
+        return float(ob.heartbeats_processed + ob.trades_received)
+
+    def _supervised_recover(self, endpoint: str, now: float) -> bool:
+        """Recovery-action map the supervisor fires on CONFIRM_DEAD.
+
+        Returns ``True`` when a recovery actually ran.  ``rb:{mp}`` and
+        ``feed`` confirmations are recorded but have no recovery — an
+        RB's pre-crash window is gone by design and the feed is external.
+        """
+        try:
+            if endpoint == "ob":
+                if self.ordering_buffer is not None and self._ob_crashed:
+                    self.promote_standby()
+                    if self.detector is not None:
+                        # The standby inherits the endpoint; re-arm it.
+                        self.detector.resume("ob", now)
+                    return True
+                return False
+            if endpoint.startswith("shard:"):
+                shard_id = endpoint[len("shard:"):]
+                if shard_id in self._crashed_shards:
+                    self.retire_shard(shard_id)
+                    return True
+                return False
+            if endpoint.startswith("agg:"):
+                node_id = endpoint[len("agg:"):]
+                node = self._agg_nodes.get(node_id)
+                if (
+                    node is not None
+                    and node.failed
+                    and node_id not in self._retired_aggs
+                ):
+                    self.recover_aggregator(node_id)
+                    return True
+                return False
+            if endpoint == "gateway":
+                gateway = self.egress_gateway
+                if gateway is not None and gateway.stalled:
+                    gateway.resume(now)
+                    if self.detector is not None:
+                        self.detector.resume("gateway", now)
+                    return True
+                return False
+            return False
+        except RuntimeError:
+            # A cascading failure can make recovery impossible (e.g. no
+            # surviving shard to adopt orphans).  Count it, don't crash
+            # the simulation: the audit surfaces it as unrecoverable.
+            return False
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
@@ -891,4 +1290,39 @@ class DBODeployment(BaseDeployment):
                 counters["master_duplicates_ignored"] = float(
                     self.master_ob.duplicates_ignored
                 )
+        if self.messages_dropped_dead:
+            counters["messages_dropped_dead"] = float(self.messages_dropped_dead)
+        if self.retransmit_policy is not None:
+            warmup_resent = sum(
+                rb.trades_warmup_resent for rb in self.release_buffers
+            )
+            if warmup_resent:
+                counters["trades_warmup_resent"] = float(warmup_resent)
+            holds = markers = timeouts = 0
+            if self.ordering_buffer is not None:
+                holds += self.ordering_buffer.warmup_holds
+                markers += self.ordering_buffer.warmup_markers_received
+                timeouts += self.ordering_buffer.warmup_timeouts
+            if self.master_ob is not None:
+                holds += self.master_ob.warmup_holds
+                markers += self.master_ob.warmup_markers_received
+                timeouts += self.master_ob.warmup_timeouts
+            for shard in self.shards:
+                holds += shard._inner.warmup_holds
+                markers += shard._inner.warmup_markers_received
+                timeouts += shard._inner.warmup_timeouts
+            if holds:
+                counters["warmup_holds"] = float(holds)
+                counters["warmup_markers_received"] = float(markers)
+            if timeouts:
+                counters["warmup_timeouts"] = float(timeouts)
+            reforwarded = sum(shard.trades_reforwarded for shard in self.shards)
+            if reforwarded:
+                counters["trades_reforwarded"] = float(reforwarded)
+        if self.ces.feed_hiccups:
+            counters["feed_hiccups"] = float(self.ces.feed_hiccups)
+        if self.detector is not None:
+            counters.update(self.detector.counters())
+        if self.supervisor is not None:
+            counters.update(self.supervisor.counters())
         return counters

@@ -75,6 +75,11 @@ class CentralExchangeServer:
         # recovers quickly.  None disables (the paper's dense-feed case).
         self.keepalive_interval: Optional[float] = None
         self._keepalive_timer = None
+        # Fault injection (``ces_hiccup``): while paused the tick chain
+        # dies and no points are generated; resume() re-arms it.
+        self._paused = False
+        self._tick_chain_alive = False
+        self.feed_hiccups = 0
 
     def _on_execution(self, execution) -> None:
         """Publish an execution report into the market-data stream.
@@ -119,6 +124,7 @@ class CentralExchangeServer:
             raise RuntimeError("CES already started")
         self._started = True
         self._stop_time = stop_time
+        self._tick_chain_alive = True
         self.engine.schedule_at(start_time, self._tick)
         if self.keepalive_interval is not None:
             if self.keepalive_interval <= 0:
@@ -132,12 +138,43 @@ class CentralExchangeServer:
 
     def _tick(self) -> None:
         now = self.engine.now
+        if self._paused:
+            # The chain dies here; resume() re-arms it exactly once.
+            self._tick_chain_alive = False
+            return
         if self._stop_time is not None and now >= self._stop_time:
+            self._tick_chain_alive = False
             return
         point = self.feed.next_point(generation_time=now)
         self._last_emit_time = now
         self._distributor(point)
         self.engine.schedule_after(self.feed.next_gap(), self._tick)
+
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Fault injection (``ces_hiccup``): the feed process hangs.
+
+        Generation stops at the next scheduled tick; everything else
+        (matching engine, keepalives disabled-by-default) is untouched.
+        Idempotent while already paused.
+        """
+        if not self._paused:
+            self._paused = True
+            self.feed_hiccups += 1
+
+    def resume(self) -> None:
+        """Heal a hiccup: restart generation one cadence gap from now.
+
+        Guarded against double-arming: if a pending tick is still in
+        flight (resume landed before the pause was noticed), that tick
+        carries the chain and no second chain is started.
+        """
+        if not self._paused:
+            return
+        self._paused = False
+        if self._started and not self._tick_chain_alive:
+            self._tick_chain_alive = True
+            self.engine.schedule_after(self.feed.next_gap(), self._tick)
 
     def _keepalive(self) -> None:
         now = self.engine.now

@@ -27,6 +27,7 @@ __all__ = [
     "TradeOrder",
     "TaggedTrade",
     "Heartbeat",
+    "RecoveryMarker",
     "Execution",
 ]
 
@@ -167,6 +168,23 @@ class Heartbeat:
     mp_id: str
     clock: Any  # DeliveryClock
     generated_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class RecoveryMarker:
+    """End-of-warm-up fence from a release buffer.
+
+    During push-based recovery a promoted/adopting ordering buffer asks
+    each affected RB to resend its unacked window; the RB answers with
+    the resends followed by one ``RecoveryMarker`` on the *same* FIFO
+    reverse channel.  Receiving the marker therefore proves every resent
+    trade from that RB has already arrived, which is what lets the
+    receiver lift its release hold without any timing assumptions.
+    """
+
+    mp_id: str
+    requested_at: float = 0.0
+    resent: int = 0
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,79 @@ def _plan_shard_loss(duration: float, n: int) -> FaultSchedule:
     )
 
 
+def _plan_ob_crash(duration: float, n: int) -> FaultSchedule:
+    """The flat OB fail-stops.
+
+    Distinct from ``ob-failover`` so supervised runs have a canonical
+    crash plan: in scripted mode the standby is promoted at the fault
+    instant; in detected mode (``supervise=True``) only the crash fires
+    and the failure detector must notice the silence, confirm, and
+    promote — converging on the same trade digest.
+    """
+    return FaultSchedule.of(
+        FaultSpec(kind="ob_failover", at=0.35 * duration),
+        name="ob-crash",
+    )
+
+
+def _plan_shard_crash(duration: float, n: int) -> FaultSchedule:
+    """One OB shard fail-stops; recovery reroutes its orphans."""
+    return FaultSchedule.of(
+        FaultSpec(kind="shard_failure", at=0.35 * duration, target="shard-0"),
+        name="shard-crash",
+    )
+
+
+def _plan_aggregator_crash(duration: float, n: int) -> FaultSchedule:
+    """An interior aggregation-tree node fail-stops (tree mode).
+
+    ``run_chaos`` defaults the deployment to ``depth=2, fanout=2`` with
+    four shards, so ``agg1-0`` is the first level-1 interior node.
+    """
+    return FaultSchedule.of(
+        FaultSpec(kind="aggregator_failure", at=0.4 * duration, target="agg1-0"),
+        name="aggregator-crash",
+    )
+
+
+def _plan_ces_hiccup(duration: float, n: int) -> FaultSchedule:
+    """The market-data feed process hangs, then heals.
+
+    Generation stops cold — no points, no opportunities — and resumes a
+    cadence gap after the scripted heal.  The supervisor (if armed) can
+    only flag the feed: there is no standby to promote.
+    """
+    return FaultSchedule.of(
+        FaultSpec(kind="ces_hiccup", at=0.3 * duration, duration=0.15 * duration),
+        name="ces-hiccup",
+    )
+
+
+def _plan_trace_storm(duration: float, n: int) -> FaultSchedule:
+    """Latency windows derived from the §6.4 RTT trace (satellite of §6).
+
+    The Figure-11 trace is resampled to the run length and thresholded
+    at its 90th percentile; every excursion above the threshold becomes
+    a ``latency_degradation`` window on mp0's legs whose extra one-way
+    latency is half the excursion peak.  Chaos plans thus replay *real*
+    measured congestion instead of hand-picked windows.
+    """
+    from repro.net.trace import generate_figure11_trace
+
+    trace = generate_figure11_trace(
+        duration=0.9 * duration,
+        sample_interval=max(duration / 400.0, 1.0),
+        seed=2023,
+    )
+    return FaultSchedule.from_trace(
+        trace,
+        threshold=trace.percentile(90.0),
+        target="mp0",
+        direction="both",
+        name="trace-storm",
+    )
+
+
 def _plan_gateway_stall(duration: float, n: int) -> FaultSchedule:
     """The egress gateway hangs, then resumes (fail-closed hold)."""
     return FaultSchedule.of(
@@ -207,7 +280,12 @@ CHAOS_PLANS: Dict[str, Callable[[float, int], FaultSchedule]] = {
     "partition": _plan_partition,
     "rb-outage": _plan_rb_outage,
     "ob-failover": _plan_ob_failover,
+    "ob-crash": _plan_ob_crash,
     "shard-loss": _plan_shard_loss,
+    "shard-crash": _plan_shard_crash,
+    "aggregator-crash": _plan_aggregator_crash,
+    "ces-hiccup": _plan_ces_hiccup,
+    "trace-storm": _plan_trace_storm,
     "gateway-stall": _plan_gateway_stall,
     "ack-loss": _plan_ack_loss,
     "dup-delivery": _plan_dup_delivery,
@@ -287,6 +365,21 @@ def run_chaos(
         kwargs.setdefault("n_ob_shards", 2)
     if "gateway_stall" in kinds:
         kwargs.setdefault("enable_egress_gateway", True)
+    if "aggregator_failure" in kinds:
+        from repro.core.params import AggregationTopology
+
+        kwargs.setdefault("topology", AggregationTopology(depth=2, fanout=2))
+        kwargs.setdefault("n_ob_shards", 4)
+    supervise = bool(kwargs.get("supervise"))
+    recovery = "detected" if supervise else "scripted"
+    crash_kinds = kinds & {"ob_failover", "shard_failure", "aggregator_failure"}
+    if scheme == "dbo" and supervise and crash_kinds:
+        # Supervised recovery re-collects the unacked windows; without a
+        # retransmit policy the crash window is lost by design and the
+        # detected/scripted digest equivalence cannot hold.
+        from repro.core.release_buffer import RetransmitPolicy
+
+        kwargs.setdefault("retransmit_policy", RetransmitPolicy())
     if scheme == "dbo" and any(
         fault.channel is not None and fault.channel.startswith("ack-")
         for fault in plan
@@ -303,7 +396,7 @@ def run_chaos(
     clean = clean_deployment.run(duration=duration, drain=drain)
 
     faulted_deployment = build_deployment(scheme, specs_factory(), seed=seed, **kwargs)
-    injector = FaultInjector(plan)
+    injector = FaultInjector(plan, recovery=recovery)
     injector.arm(faulted_deployment)
     faulted_auditor = InvariantAuditor(stall_timeout=stall_timeout)
     faulted_auditor.attach(faulted_deployment)

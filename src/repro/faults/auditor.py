@@ -44,7 +44,7 @@ from repro.exchange.messages import Heartbeat, TaggedTrade
 __all__ = ["InvariantAuditor", "AuditReport", "Violation"]
 
 SAFETY_KINDS = ("release_order", "duplicate_release", "watermark_regression")
-LIVENESS_KINDS = ("progress_stall", "heartbeat_gap")
+LIVENESS_KINDS = ("progress_stall", "heartbeat_gap", "recovery_stalled")
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,11 @@ class AuditReport:
     violations: List[Violation] = field(default_factory=list)
     releases_checked: int = 0
     heartbeats_checked: int = 0
+    # Recovery-protocol state at report time: per-RB retransmission
+    # obligations (backoff attempt, next resend) and the supervisor's
+    # per-endpoint escalation ladder.  Empty for schemes without the
+    # ack/retransmit path or a supervisor.
+    recovery: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def safety_violations(self) -> List[Violation]:
@@ -99,6 +104,7 @@ class AuditReport:
             "heartbeats_checked": self.heartbeats_checked,
             "counts": dict(sorted(self.counts().items())),
             "violations": [v.to_dict() for v in self.violations],
+            "recovery": self.recovery,
         }
 
 
@@ -153,7 +159,7 @@ class InvariantAuditor:
             if stall_check_interval is not None
             else (stall_timeout / 4.0 if stall_timeout is not None else None)
         )
-        self.deployment = None
+        self.deployment: Any = None
         self.attached = False
         self.violations: List[Violation] = []
         self.releases_checked = 0
@@ -173,9 +179,12 @@ class InvariantAuditor:
         self._last_released_count = 0
         self._stall_since: Optional[float] = None
         self._stall_reported = False
+        # report() is idempotent: the recovery snapshot's stall events
+        # are recorded at most once.
+        self._recovery_events_recorded = False
 
     # ------------------------------------------------------------------
-    def attach(self, deployment) -> None:
+    def attach(self, deployment: Any) -> None:
         """Hook into ``deployment``; call before ``run()``."""
         if self.attached:
             raise RuntimeError("auditor already attached")
@@ -196,11 +205,11 @@ class InvariantAuditor:
             self._wrap_matching_engine(deployment)
         self.attached = True
 
-    def _wrap_matching_engine(self, deployment) -> None:
+    def _wrap_matching_engine(self, deployment: Any) -> None:
         me = deployment.ces.matching_engine
         original = me.submit
 
-        def audited_submit(trade, *args, **kwargs):
+        def audited_submit(trade: Any, *args: Any, **kwargs: Any) -> Any:
             now = deployment.engine.now
             key = trade.key
             self.releases_checked += 1
@@ -337,13 +346,84 @@ class InvariantAuditor:
             self._stall_reported = True
 
     # ------------------------------------------------------------------
+    # Recovery-protocol snapshot (report time)
+    # ------------------------------------------------------------------
+    def _recovery_snapshot(self) -> Dict[str, Any]:
+        """RB retransmission + supervisor escalation state at report time.
+
+        A recovery that never completed must not vanish into a hung
+        run: a component still warming up, an endpoint stuck
+        mid-escalation, or an RB holding unacked trades at drain time is
+        recorded as a ``recovery_stalled`` liveness event alongside the
+        raw state snapshot.
+        """
+        deployment = self.deployment
+        out: Dict[str, Any] = {}
+        if deployment is None:
+            return out
+        record = self._record
+        if self._recovery_events_recorded:
+            def record(*_args, **_kwargs) -> None:  # noqa: E306
+                return None
+        self._recovery_events_recorded = True
+        now = deployment.engine.now
+        buffers = getattr(deployment, "release_buffers", None)
+        if buffers:
+            rb_states = {rb.mp_id: rb.recovery_state() for rb in buffers}
+            out["rb"] = rb_states
+            for mp_id in sorted(rb_states):
+                state = rb_states[mp_id]
+                if state["unacked"]:
+                    record(
+                        "recovery_stalled",
+                        now,
+                        f"RB {mp_id} holds {state['unacked']:.0f} unacked "
+                        f"trades at report time (attempt {state['max_attempt']:.0f})",
+                        mp_id,
+                    )
+        warming: List[str] = []
+        ob = getattr(deployment, "ordering_buffer", None)
+        if ob is not None and ob.warming_up:
+            warming.append("ob")
+        master = getattr(deployment, "master_ob", None)
+        if master is not None and master.warming_up:
+            warming.append("master")
+        for shard in getattr(deployment, "shards", []) or []:
+            if (
+                shard.shard_id not in getattr(deployment, "_failed_shards", set())
+                and shard._inner.warming_up
+            ):
+                warming.append(shard.shard_id)
+        if warming:
+            out["warming_up"] = warming
+            for name in warming:
+                record(
+                    "recovery_stalled",
+                    now,
+                    f"{name} still holds a warm-up fence at report time",
+                )
+        supervisor = getattr(deployment, "supervisor", None)
+        if supervisor is not None:
+            out["supervisor"] = supervisor.escalation_state()
+            for endpoint in supervisor.stalled_endpoints():
+                record(
+                    "recovery_stalled",
+                    now,
+                    f"supervisor escalation for {endpoint} stuck in "
+                    f"{supervisor.escalation_state()[endpoint]['state']!r}",
+                )
+        return out
+
+    # ------------------------------------------------------------------
     def report(self) -> AuditReport:
         scheme = (
             self.deployment.scheme_name if self.deployment is not None else "unattached"
         )
+        recovery = self._recovery_snapshot()
         return AuditReport(
             scheme=scheme,
             violations=list(self.violations),
             releases_checked=self.releases_checked,
             heartbeats_checked=self.heartbeats_checked,
+            recovery=recovery,
         )

@@ -1,0 +1,232 @@
+"""Deterministic failure detection over existing liveness signals.
+
+The chaos harness so far *scripts* recovery: the fault plan that crashes
+a component also schedules the matching repair.  A self-healing control
+plane must instead *notice* the failure.  This module provides the
+noticing half: a phi-accrual-style :class:`FailureDetector` that runs
+entirely on the simulation clock and consumes only signals the system
+already emits —
+
+* per-participant reverse-channel traffic (trades + heartbeats arriving
+  at the OB dispatcher pulse a ``rb:{mp}`` endpoint);
+* component work odometers (OB heartbeats/trades processed, shard
+  heartbeats, aggregator forwards, feed points, gateway releases),
+  sampled by a deterministic periodic check.
+
+For each endpoint the detector keeps a bounded window of inter-pulse
+gaps.  Suspicion is the elapsed silence divided by the windowed mean
+gap — the discrete analogue of the phi-accrual estimator, with the
+threshold expressed in expected-gap multiples
+(:attr:`~repro.core.params.SupervisionPolicy.suspect_after`).  Crossing
+it emits a ``suspect`` event; a later pulse emits ``alive``.  Escalation
+from suspicion to confirmation and recovery is the supervisor's job
+(:mod:`repro.core.supervisor`) — the detector never touches the data
+path, which is why a fault-free supervised run is release-for-release
+identical to an unsupervised one.
+
+Everything is deterministic: pulses carry simulation timestamps, checks
+ride a :class:`~repro.sim.engine.PeriodicTimer` whose stagger offset
+comes from the run's seeded substream, and endpoints are evaluated in
+sorted-name order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.params import SupervisionPolicy
+from repro.sim.engine import EventEngine, PeriodicTimer
+
+__all__ = ["EndpointState", "FailureDetector"]
+
+
+# (endpoint name, event — "suspect" | "alive", simulation time)
+DetectorListener = Callable[[str, str, float], None]
+
+
+@dataclass
+class EndpointState:
+    """Liveness bookkeeping for one monitored endpoint."""
+
+    name: str
+    #: Optional odometer: sampled every check; any change counts as a pulse.
+    poll: Optional[Callable[[], float]] = None
+    last_value: Optional[float] = None
+    last_pulse: float = 0.0
+    gaps: Deque[float] = field(default_factory=deque)
+    pulses: int = 0
+    suspected: bool = False
+    retired: bool = False
+
+    def mean_gap(self, fallback: float) -> float:
+        if not self.gaps:
+            return fallback
+        return sum(self.gaps) / len(self.gaps)
+
+
+class FailureDetector:
+    """Windowed inter-arrival failure detector on the simulation clock.
+
+    Parameters
+    ----------
+    engine:
+        The simulation event engine (time source and timer host).
+    policy:
+        The :class:`~repro.core.params.SupervisionPolicy` supplying the
+        window size and suspicion threshold.
+    check_interval:
+        Period of the polling sweep, and the expected-gap fallback for
+        endpoints that have not yet accumulated a window.  Defaults to
+        ``policy.check_interval`` when set.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        policy: SupervisionPolicy,
+        check_interval: Optional[float] = None,
+    ) -> None:
+        interval = check_interval if check_interval is not None else policy.check_interval
+        if interval is None:
+            raise ValueError("FailureDetector needs a check_interval")
+        if interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.engine = engine
+        self.policy = policy
+        self.check_interval = float(interval)
+        self._endpoints: Dict[str, EndpointState] = {}
+        self._listeners: List[DetectorListener] = []
+        self._timer: Optional[PeriodicTimer] = None
+        self._stop_after = float("inf")
+        self.checks_run = 0
+        self.suspects_raised = 0
+        self.suspects_cleared = 0
+
+    # ------------------------------------------------------------------
+    # Registration and wiring
+    # ------------------------------------------------------------------
+    def register(self, name: str, poll: Optional[Callable[[], float]] = None) -> None:
+        """Monitor ``name``; with ``poll``, sample its odometer each check."""
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        state = EndpointState(name=name, poll=poll)
+        state.gaps = deque(maxlen=self.policy.detector_window)
+        self._endpoints[name] = state
+
+    def subscribe(self, listener: DetectorListener) -> None:
+        self._listeners.append(listener)
+
+    @property
+    def endpoints(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def state_of(self, name: str) -> EndpointState:
+        return self._endpoints[name]
+
+    # ------------------------------------------------------------------
+    # Signal intake
+    # ------------------------------------------------------------------
+    def pulse(self, name: str, now: float) -> None:
+        """Record a liveness pulse (event-driven signal path)."""
+        state = self._endpoints.get(name)
+        if state is None or state.retired:
+            return
+        gap = now - state.last_pulse
+        if gap > 0.0:
+            state.gaps.append(gap)
+        state.last_pulse = now
+        state.pulses += 1
+        if state.suspected:
+            state.suspected = False
+            self.suspects_cleared += 1
+            self._emit(name, "alive", now)
+
+    def pulsed_since(self, name: str, time: float) -> bool:
+        """True when the endpoint pulsed strictly after ``time``."""
+        return self._endpoints[name].last_pulse > time
+
+    def retire(self, name: str) -> None:
+        """Stop monitoring ``name`` (its component was retired on purpose)."""
+        self._endpoints[name].retired = True
+
+    def resume(self, name: str, now: float) -> None:
+        """Re-arm monitoring after a recovery that replaced the component."""
+        state = self._endpoints[name]
+        state.retired = False
+        state.suspected = False
+        state.last_value = None
+        state.last_pulse = now
+        state.gaps.clear()
+
+    # ------------------------------------------------------------------
+    # Periodic evaluation
+    # ------------------------------------------------------------------
+    def start(self, start_time: float, stop_after: float) -> None:
+        """Begin periodic checks at ``start_time``, ceasing past ``stop_after``.
+
+        Checks stop at ``stop_after`` (normally the feed horizon) because
+        drain-phase silence is the *expected* end of traffic, not a
+        failure.
+        """
+        if self._timer is not None:
+            raise RuntimeError("detector already started")
+        self._stop_after = stop_after
+        for state in self._endpoints.values():
+            state.last_pulse = start_time
+        self._timer = self.engine.schedule_periodic(
+            start_time, self.check_interval, self._check, priority=8
+        )
+
+    def _check(self) -> None:
+        now = self.engine.now
+        if now > self._stop_after:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        self.checks_run += 1
+        for name in sorted(self._endpoints):
+            state = self._endpoints[name]
+            if state.retired:
+                continue
+            if state.poll is not None:
+                value = state.poll()
+                # ``!=`` not ``>``: failover carry-over can transiently
+                # lower an odometer; any change is still liveness.
+                if state.last_value is None or value != state.last_value:
+                    state.last_value = value
+                    self.pulse(name, now)
+            if state.suspected:
+                continue
+            if self.suspicion(name, now) >= self.policy.suspect_after:
+                state.suspected = True
+                self.suspects_raised += 1
+                self._emit(name, "suspect", now)
+
+    def suspicion(self, name: str, now: float) -> float:
+        """Elapsed silence in expected-gap multiples (0 = just pulsed)."""
+        state = self._endpoints[name]
+        expected = state.mean_gap(self.check_interval)
+        if expected <= 0.0:
+            expected = self.check_interval
+        return (now - state.last_pulse) / expected
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, name: str, event: str, now: float) -> None:
+        for listener in self._listeners:
+            listener(name, event, now)
+
+    def counters(self) -> Dict[str, float]:
+        return {
+            "detector_endpoints": float(len(self._endpoints)),
+            "detector_checks": float(self.checks_run),
+            "detector_suspects": float(self.suspects_raised),
+            "detector_suspects_cleared": float(self.suspects_cleared),
+        }

@@ -14,6 +14,7 @@ resolved at fire time, because deployments build lazily inside ``run()``.
 
 from __future__ import annotations
 
+import fnmatch
 from typing import Any, Dict, List, Tuple
 
 from repro.faults.plan import FaultSchedule, FaultSpec
@@ -40,9 +41,20 @@ class FaultInjector:
     early — a plan that silently half-applies would poison comparisons.
     """
 
-    def __init__(self, schedule: FaultSchedule) -> None:
+    RECOVERY_MODES = ("scripted", "detected")
+
+    def __init__(self, schedule: FaultSchedule, recovery: str = "scripted") -> None:
+        if recovery not in self.RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {self.RECOVERY_MODES}, got {recovery!r}"
+            )
         self.schedule = schedule
-        self.deployment = None
+        # "scripted": crash faults also run their recovery protocol
+        # synchronously (the historical behaviour).  "detected": the
+        # injector fires only the crash half; the deployment's supervisor
+        # must notice the silence and drive the recovery itself.
+        self.recovery = recovery
+        self.deployment: Any = None
         self.armed = False
         # (target, direction) -> the wrapper installed on the spec.
         self._degraded: Dict[Tuple[str, str], DegradedLatency] = {}
@@ -52,7 +64,7 @@ class FaultInjector:
         self.faults_recovered = 0
 
     # ------------------------------------------------------------------
-    def arm(self, deployment) -> None:
+    def arm(self, deployment: Any) -> None:
         """Validate the plan against ``deployment`` and schedule it."""
         if self.armed:
             raise RuntimeError("injector already armed")
@@ -69,12 +81,17 @@ class FaultInjector:
         for fault in self.schedule:
             engine.schedule_at(fault.at, self._fire, priority=1, args=(fault,))
             if fault.ends_at is not None:
+                if self.recovery == "detected" and fault.kind == "gateway_stall":
+                    # The supervisor owns the resume: a hung gateway
+                    # can't resume itself, so the scripted heal would
+                    # mask the detection path under test.
+                    continue
                 engine.schedule_at(
                     fault.ends_at, self._recover, priority=1, args=(fault,)
                 )
         self.armed = True
 
-    def _validate(self, deployment) -> None:
+    def _validate(self, deployment: Any) -> None:
         mp_ids = set(deployment.mp_ids)
         for fault in self.schedule:
             kind = fault.kind
@@ -116,8 +133,27 @@ class FaultInjector:
                 deployment, "enable_egress_gateway", False
             ):
                 raise ValueError("gateway_stall requires enable_egress_gateway=True")
+            if kind == "aggregator_failure":
+                topology = getattr(deployment, "topology", None)
+                if topology is None or not topology.enabled:
+                    raise ValueError(
+                        "aggregator_failure requires an aggregation tree "
+                        "(topology depth >= 2 builds interior nodes)"
+                    )
+            if kind == "ces_hiccup" and not hasattr(deployment, "ces"):
+                raise ValueError("ces_hiccup requires a deployment with a CES")
+            if (
+                self.recovery == "detected"
+                and kind in {"ob_failover", "shard_failure", "aggregator_failure",
+                             "gateway_stall"}
+                and not getattr(deployment, "supervise", False)
+            ):
+                raise ValueError(
+                    f"detected-mode {kind} needs a supervised deployment "
+                    "(supervise=True); nothing else would ever recover it"
+                )
 
-    def _wrap_latency_models(self, deployment, fault: FaultSpec) -> None:
+    def _wrap_latency_models(self, deployment: Any, fault: FaultSpec) -> None:
         index = deployment.mp_ids.index(fault.target)
         spec = deployment.specs[index]
         directions = (
@@ -155,6 +191,17 @@ class FaultInjector:
         """
         transport = self.deployment.transport
         if fault.channel is not None:
+            if "*" in fault.channel or "?" in fault.channel or "[" in fault.channel:
+                matched = [
+                    transport.channel(name)
+                    for name in transport.names()
+                    if fnmatch.fnmatchcase(name, fault.channel)
+                ]
+                if not matched:
+                    raise KeyError(
+                        f"channel glob {fault.channel!r} matched no channels"
+                    )
+                return matched
             return [transport.channel(fault.channel)]
         prefixes = (
             ("fwd", "rev") if fault.direction == "both"
@@ -211,9 +258,22 @@ class FaultInjector:
         elif kind == "clock_drift":
             deployment._rb_by_id[fault.target].apply_clock_skew(fault.magnitude)
         elif kind == "ob_failover":
-            deployment.failover_ob()
+            if self.recovery == "detected":
+                deployment.crash_ob()
+            else:
+                deployment.failover_ob()
         elif kind == "shard_failure":
-            deployment.fail_shard(fault.target)
+            if self.recovery == "detected":
+                deployment.crash_shard(fault.target)
+            else:
+                deployment.fail_shard(fault.target)
+        elif kind == "aggregator_failure":
+            if self.recovery == "detected":
+                deployment.crash_aggregator(fault.target)
+            else:
+                deployment.fail_aggregator(fault.target)
+        elif kind == "ces_hiccup":
+            deployment.ces.pause()
         elif kind == "gateway_stall":
             deployment.egress_gateway.stall()
         else:  # pragma: no cover - plan validation rejects unknown kinds
@@ -255,6 +315,10 @@ class FaultInjector:
             deployment._rb_by_id[fault.target].restart()
         elif kind == "clock_drift":
             deployment._rb_by_id[fault.target].clear_clock_skew()
+        elif kind == "ces_hiccup":
+            # Healed by script in both modes: a wedged feed process has
+            # no standby to promote, so the supervisor can only flag it.
+            deployment.ces.resume()
         elif kind == "gateway_stall":
             deployment.egress_gateway.resume(deployment.engine.now)
         else:  # pragma: no cover - permanent kinds schedule no recovery
@@ -267,6 +331,7 @@ class FaultInjector:
         """Deterministic record of what the injector did."""
         return {
             "plan": self.schedule.name,
+            "recovery": self.recovery,
             "faults_fired": self.faults_fired,
             "faults_recovered": self.faults_recovered,
             "log": list(self.log),

@@ -35,6 +35,12 @@ Supported kinds
     message is delivered twice with probability ``magnitude`` (retry
     storms, misbehaving middleboxes).  Receivers must dedup — the OB by
     trade key, data channels by point/batch identity.
+``aggregator_failure``
+    The named interior aggregation-tree node fail-stops; its children
+    are re-parented under the dead node's parent (tree mode only).
+``ces_hiccup``
+    The market-data feed hangs for ``duration`` µs (the CES tick chain
+    pauses); generation resumes one cadence gap after the heal.
 ``clock_drift``
     The target participant's RB local clock suddenly drifts faster
     (positive ``magnitude``) or slower (negative) by that rate — an NTP
@@ -57,7 +63,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.net.trace import NetworkTrace
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule"]
 
@@ -72,6 +81,8 @@ FAULT_KINDS = frozenset(
         "gateway_stall",
         "duplicate_delivery",
         "clock_drift",
+        "aggregator_failure",
+        "ces_hiccup",
     }
 )
 
@@ -82,7 +93,8 @@ _CHANNEL_KINDS = _LINK_KINDS | {"duplicate_delivery"}
 # Kinds whose duration is mandatory (a permanent variant is meaningless
 # or would trivially stall the run).
 _DURATION_REQUIRED = frozenset(
-    {"link_burst_loss", "partition", "gateway_stall", "duplicate_delivery"}
+    {"link_burst_loss", "partition", "gateway_stall", "duplicate_delivery",
+     "ces_hiccup"}
 )
 _DIRECTIONS = ("forward", "reverse", "both")
 
@@ -140,7 +152,10 @@ class FaultSpec:
             raise ValueError("fault duration must be positive when given")
         if self.kind in _DURATION_REQUIRED and self.duration is None:
             raise ValueError(f"{self.kind} requires a duration")
-        if self.kind in {"ob_failover", "shard_failure"} and self.duration is not None:
+        if (
+            self.kind in {"ob_failover", "shard_failure", "aggregator_failure"}
+            and self.duration is not None
+        ):
             raise ValueError(f"{self.kind} is instantaneous; it takes no duration")
         if self.channel is not None and self.kind not in _CHANNEL_KINDS:
             raise ValueError(f"{self.kind} does not address a channel")
@@ -149,9 +164,13 @@ class FaultSpec:
         if self.kind in _CHANNEL_KINDS:
             if not self.target and not self.channel:
                 raise ValueError(f"{self.kind} requires a target or a channel")
-        elif self.kind in {"rb_crash", "shard_failure", "clock_drift"}:
+        elif self.kind in {
+            "rb_crash", "shard_failure", "clock_drift", "aggregator_failure"
+        }:
             if not self.target:
                 raise ValueError(f"{self.kind} requires a target")
+        elif self.kind == "ces_hiccup" and self.target is not None:
+            raise ValueError("ces_hiccup is global; it takes no target")
         if self.kind in _CHANNEL_KINDS and self.direction not in _DIRECTIONS:
             raise ValueError(f"direction must be one of {_DIRECTIONS}")
         if self.kind == "link_burst_loss" and not 0.0 < self.magnitude <= 1.0:
@@ -258,4 +277,75 @@ class FaultSchedule:
 
     @classmethod
     def of(cls, *faults: FaultSpec, name: str = "chaos") -> "FaultSchedule":
+        return cls(faults=tuple(faults), name=name)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: "NetworkTrace",
+        threshold: Optional[float] = None,
+        target: Optional[str] = None,
+        channel: Optional[str] = None,
+        direction: str = "forward",
+        scale: float = 1.0,
+        name: str = "trace",
+    ) -> "FaultSchedule":
+        """Derive ``latency_degradation`` windows from a measured RTT trace.
+
+        The §6.4 methodology in reverse: where
+        :func:`repro.net.trace.generate_figure11_trace` synthesizes the
+        paper's cloud RTT timeseries, this turns such a trace back into a
+        replayable fault plan.  Every excursion of the trace above
+        ``threshold`` (default: its 95th percentile) becomes one
+        ``latency_degradation`` window ``[start, end)`` whose extra
+        one-way latency is ``scale · (peak − threshold) / 2`` — half,
+        because the trace measures round trips.
+
+        Address the faults at a participant leg (``target`` +
+        ``direction``) or a named channel (``channel``), exactly like a
+        hand-written spec.
+        """
+        if (target is None) == (channel is None):
+            raise ValueError("give exactly one of target or channel")
+        if threshold is None:
+            threshold = trace.percentile(95.0)
+        samples = list(zip(trace.times, trace.values))
+        if not samples:
+            raise ValueError("empty trace")
+        faults: List[FaultSpec] = []
+        start: Optional[float] = None
+        peak = 0.0
+
+        def close(end: float) -> None:
+            assert start is not None
+            duration = end - start
+            if duration <= 0:
+                # A one-sample spike at the trace edge: give it one
+                # sampling interval of effect.
+                gap = samples[1][0] - samples[0][0] if len(samples) > 1 else 1.0
+                duration = gap
+            faults.append(
+                FaultSpec(
+                    kind="latency_degradation",
+                    at=start,
+                    duration=duration,
+                    magnitude=scale * (peak - threshold) / 2.0,
+                    target=target,
+                    channel=channel,
+                    direction=direction,
+                )
+            )
+
+        for time, value in samples:
+            if value > threshold:
+                if start is None:
+                    start = time
+                    peak = value
+                else:
+                    peak = max(peak, value)
+            elif start is not None:
+                close(time)
+                start = None
+        if start is not None:
+            close(samples[-1][0])
         return cls(faults=tuple(faults), name=name)

@@ -36,6 +36,22 @@ _INTERESTING_COUNTERS = (
     "gateway_max_hold",
     "master_duplicates_ignored",
     "master_late_shard_messages",
+    # Self-healing control plane: detection, escalation, and warm-up.
+    "aggregator_failures",
+    "feed_hiccups",
+    "detector_suspects",
+    "detector_suspects_cleared",
+    "supervisor_probes",
+    "supervisor_false_alarms",
+    "supervisor_confirms",
+    "supervisor_recoveries",
+    "supervisor_unrecoverable",
+    "trades_warmup_resent",
+    "trades_reforwarded",
+    "warmup_holds",
+    "warmup_markers_received",
+    "warmup_timeouts",
+    "messages_dropped_dead",
 )
 
 

@@ -1,0 +1,180 @@
+"""Unit tests for the Supervisor escalation ladder (suspect → probe → confirm)."""
+
+import pytest
+
+from repro.core.params import SupervisionPolicy
+from repro.core.supervisor import Supervisor
+from repro.faults.detector import FailureDetector
+from repro.sim.engine import EventEngine
+
+
+def build(recover=None, **policy_kwargs):
+    policy_kwargs.setdefault("check_interval", 10.0)
+    policy_kwargs.setdefault("suspect_after", 3.0)
+    policy_kwargs.setdefault("confirm_after", 2)
+    policy = SupervisionPolicy(**policy_kwargs)
+    engine = EventEngine()
+    detector = FailureDetector(engine, policy)
+    recovered = []
+
+    def default_recover(name, now):
+        recovered.append((name, now))
+        return True
+
+    supervisor = Supervisor(engine, detector, policy,
+                            recover if recover is not None else default_recover)
+    return engine, detector, supervisor, recovered
+
+
+def pulse_until(engine, detector, name, stop, step=10.0):
+    t = step
+    while t <= stop:
+        engine.schedule_at(t, detector.pulse, priority=5, args=(name, t))
+        t += step
+
+
+class TestConfirmAndRecover:
+    def test_silent_endpoint_is_probed_confirmed_recovered(self):
+        engine, detector, supervisor, recovered = build()
+        detector.register("ob")
+        pulse_until(engine, detector, "ob", 100.0)
+        detector.start(0.0, 400.0)
+        supervisor.start(400.0)
+        engine.run()
+        kinds = [entry.event for entry in supervisor.log]
+        assert kinds == ["suspect", "probe", "probe", "confirm", "recover"]
+        assert supervisor.confirms == 1
+        assert supervisor.recoveries == 1
+        assert supervisor.false_alarms == 0
+        assert len(recovered) == 1
+        assert recovered[0][0] == "ob"
+        state = supervisor.escalation_state()["ob"]
+        assert state["state"] == "recovered"
+        assert state["confirmed_at"] == state["recovered_at"]
+        assert supervisor.stalled_endpoints() == []
+
+    def test_probe_ladder_backs_off_deterministically(self):
+        engine, detector, supervisor, _ = build(confirm_after=3, probe_backoff=2.0)
+        detector.register("ob")
+        pulse_until(engine, detector, "ob", 100.0)
+        detector.start(0.0, 800.0)
+        supervisor.start(800.0)
+        engine.run()
+        probes = [entry.time for entry in supervisor.log if entry.event == "probe"]
+        assert len(probes) == 3
+        # Probe k fires check_interval * 2**k after the previous rung.
+        assert probes[1] - probes[0] == pytest.approx(20.0)
+        assert probes[2] - probes[1] == pytest.approx(40.0)
+
+
+class TestFalseAlarm:
+    def test_pulse_during_probing_clears_without_recovery(self):
+        engine, detector, supervisor, recovered = build(confirm_after=5)
+        detector.register("ob")
+        pulse_until(engine, detector, "ob", 100.0)
+        # The endpoint comes back on its own mid-escalation (silence
+        # 100 → 200, steady again until the 420 horizon).
+        t = 200.0
+        while t <= 400.0:
+            engine.schedule_at(t, detector.pulse, priority=5, args=("ob", t))
+            t += 10.0
+        detector.start(0.0, 420.0)
+        supervisor.start(420.0)
+        engine.run()
+        assert supervisor.confirms == 0
+        assert recovered == []
+        assert all(
+            state["state"] == "ok" for state in supervisor.escalation_state().values()
+        )
+        assert supervisor.false_alarms >= 1
+
+    def test_false_alarm_counted_once_per_episode(self):
+        engine, detector, supervisor, _ = build()
+        detector.register("rb:mp0")
+        # Short silence from t=100 to t=150 — cleared before the probe
+        # ladder (confirm_after=2, rungs at +10 and +30) can confirm.
+        pulse_until(engine, detector, "rb:mp0", 100.0)
+        t = 150.0
+        while t <= 400.0:
+            engine.schedule_at(t, detector.pulse, priority=5, args=("rb:mp0", t))
+            t += 10.0
+        detector.start(0.0, 350.0)
+        supervisor.start(350.0)
+        engine.run()
+        # Either the detector's own alive or a probe-time pulse check
+        # cleared it — never a confirm.
+        assert supervisor.confirms == 0
+        assert supervisor.false_alarms >= 1
+        assert supervisor.escalation_state()["rb:mp0"]["state"] == "ok"
+
+
+class TestUnrecoverable:
+    def test_failed_recovery_marks_unrecoverable(self):
+        engine, detector, supervisor, _ = build(recover=lambda name, now: False)
+        detector.register("feed")
+        pulse_until(engine, detector, "feed", 100.0)
+        detector.start(0.0, 400.0)
+        supervisor.start(400.0)
+        engine.run()
+        assert supervisor.unrecoverable == 1
+        assert supervisor.escalation_state()["feed"]["state"] == "unrecoverable"
+        # Unrecoverable endpoints are terminal, not "stalled": nothing
+        # the supervisor can still do about them.
+        assert supervisor.stalled_endpoints() == []
+
+    def test_external_heal_returns_unrecoverable_to_ok(self):
+        engine, detector, supervisor, _ = build(recover=lambda name, now: False)
+        detector.register("feed")
+        pulse_until(engine, detector, "feed", 100.0)
+
+        # A scripted resume restores the feed well after confirmation.
+        def resume_pulses():
+            t = 500.0
+            while t <= 600.0:
+                engine.schedule_at(t, detector.pulse, priority=5, args=("feed", t))
+                t += 10.0
+
+        engine.schedule_at(499.0, resume_pulses, priority=5)
+        detector.start(0.0, 610.0)
+        supervisor.start(610.0)
+        engine.run()
+        assert supervisor.unrecoverable == 1
+        assert supervisor.escalation_state()["feed"]["state"] == "ok"
+
+
+class TestScoping:
+    def test_escalations_past_horizon_ignored(self):
+        engine, detector, supervisor, recovered = build()
+        detector.register("ob")
+        pulse_until(engine, detector, "ob", 100.0)
+        detector.start(0.0, 400.0)
+        # Supervisor stops listening at t=110: the silence after the
+        # feed horizon must not trigger recovery actions.
+        supervisor.start(110.0)
+        engine.run()
+        assert supervisor.confirms == 0
+        assert recovered == []
+
+    def test_confirmed_endpoint_ignores_further_suspects(self):
+        engine, detector, supervisor, recovered = build()
+        detector.register("ob")
+        pulse_until(engine, detector, "ob", 100.0)
+        detector.start(0.0, 800.0)
+        supervisor.start(800.0)
+        engine.run()
+        assert supervisor.confirms == 1
+        assert len(recovered) == 1
+
+    def test_log_is_deterministic(self):
+        def run_once():
+            engine, detector, supervisor, _ = build()
+            detector.register("ob")
+            detector.register("rb:mp1")
+            pulse_until(engine, detector, "ob", 100.0)
+            pulse_until(engine, detector, "rb:mp1", 380.0)
+            detector.start(0.0, 400.0)
+            supervisor.start(400.0)
+            engine.run()
+            return [entry.to_dict() for entry in supervisor.log]
+
+        assert run_once() == run_once()

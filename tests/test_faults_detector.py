@@ -1,0 +1,201 @@
+"""Unit tests for the deterministic phi-accrual-style FailureDetector."""
+
+import pytest
+
+from repro.core.params import SupervisionPolicy
+from repro.faults.detector import FailureDetector
+from repro.sim.engine import EventEngine
+
+
+def make_detector(engine, **policy_kwargs):
+    policy_kwargs.setdefault("check_interval", 10.0)
+    policy = SupervisionPolicy(**policy_kwargs)
+    return FailureDetector(engine, policy)
+
+
+def drive(engine, detector, pulses, stop_after=500.0):
+    """Schedule explicit pulses and run the engine to quiescence."""
+    for name, time in pulses:
+        engine.schedule_at(time, detector.pulse, priority=5, args=(name, time))
+    detector.start(0.0, stop_after)
+    engine.run()
+
+
+class TestConstruction:
+    def test_needs_a_check_interval(self):
+        policy = SupervisionPolicy()  # check_interval defaults to None
+        with pytest.raises(ValueError, match="check_interval"):
+            FailureDetector(EventEngine(), policy)
+
+    def test_interval_argument_overrides_policy(self):
+        detector = FailureDetector(
+            EventEngine(), SupervisionPolicy(), check_interval=7.0
+        )
+        assert detector.check_interval == 7.0
+
+    def test_duplicate_registration_rejected(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("rb:mp0")
+        with pytest.raises(ValueError, match="already registered"):
+            detector.register("rb:mp0")
+
+
+class TestSuspicion:
+    def test_steady_pulses_never_suspect(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("rb:mp0")
+        events = []
+        detector.subscribe(lambda *args: events.append(args))
+        drive(engine, detector, [("rb:mp0", t) for t in range(10, 500, 10)])
+        assert events == []
+        assert detector.suspects_raised == 0
+
+    def test_silence_raises_suspect_then_pulse_clears(self):
+        engine = EventEngine()
+        detector = make_detector(engine, suspect_after=3.0)
+        detector.register("rb:mp0")
+        events = []
+        detector.subscribe(lambda name, event, now: events.append((name, event, now)))
+        # Pulse every 10 µs until t=100, silence, one late pulse at 300
+        # (checks stop at 310 — the re-silence afterwards is irrelevant).
+        pulses = [("rb:mp0", float(t)) for t in range(10, 101, 10)]
+        pulses.append(("rb:mp0", 300.0))
+        drive(engine, detector, pulses, stop_after=310.0)
+        kinds = [event for _, event, _ in events]
+        assert kinds == ["suspect", "alive"]
+        suspect_time = events[0][2]
+        # Mean gap is 10 µs, threshold 3 gaps: suspicion crosses at the
+        # first check at or after t=130.
+        assert 130.0 <= suspect_time <= 140.0
+        assert events[1][2] == 300.0
+        assert detector.suspects_raised == 1
+        assert detector.suspects_cleared == 1
+
+    def test_suspicion_is_zero_right_after_pulse(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("rb:mp0")
+        detector.pulse("rb:mp0", 10.0)
+        detector.pulse("rb:mp0", 20.0)
+        assert detector.suspicion("rb:mp0", 20.0) == 0.0
+        assert detector.suspicion("rb:mp0", 50.0) == pytest.approx(3.0)
+
+    def test_pulsed_since(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("rb:mp0")
+        detector.pulse("rb:mp0", 42.0)
+        assert detector.pulsed_since("rb:mp0", 41.0)
+        assert not detector.pulsed_since("rb:mp0", 42.0)
+
+
+class TestOdometerPolling:
+    def test_odometer_change_counts_as_pulse(self):
+        engine = EventEngine()
+        detector = make_detector(engine, suspect_after=3.0)
+        odometer = {"value": 0.0}
+        detector.register("ob", poll=lambda: odometer["value"])
+        events = []
+        detector.subscribe(lambda name, event, now: events.append((name, event, now)))
+
+        def bump():
+            odometer["value"] += 1.0
+
+        # Work until t=100, then the component goes silent.
+        for t in range(5, 101, 5):
+            engine.schedule_at(float(t), bump, priority=4)
+        detector.start(0.0, 400.0)
+        engine.run()
+        assert [event for _, event, _ in events] == ["suspect"]
+
+    def test_odometer_decrease_still_counts_as_liveness(self):
+        # Failover carry-over can transiently lower an odometer; the
+        # detector must treat any change as a pulse, not only increases.
+        engine = EventEngine()
+        detector = make_detector(engine, suspect_after=3.0)
+        odometer = {"value": 100.0}
+        detector.register("ob", poll=lambda: odometer["value"])
+        events = []
+        detector.subscribe(lambda name, event, now: events.append(event))
+
+        def wobble(delta):
+            odometer["value"] += delta
+
+        for index, t in enumerate(range(5, 201, 5)):
+            engine.schedule_at(float(t), wobble, priority=4,
+                               args=(1.0 if index % 3 else -2.0,))
+        detector.start(0.0, 150.0)
+        engine.run()
+        assert "suspect" not in events
+
+
+class TestLifecycle:
+    def test_retired_endpoint_never_suspects(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("shard-0")
+        detector.retire("shard-0")
+        events = []
+        detector.subscribe(lambda *args: events.append(args))
+        detector.start(0.0, 300.0)
+        engine.run()
+        assert events == []
+
+    def test_resume_rearms_with_fresh_window(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("gateway")
+        detector.pulse("gateway", 10.0)
+        detector.pulse("gateway", 20.0)
+        detector.retire("gateway")
+        detector.resume("gateway", 200.0)
+        state = detector.state_of("gateway")
+        assert not state.retired
+        assert state.last_pulse == 200.0
+        assert len(state.gaps) == 0
+
+    def test_checks_stop_past_horizon(self):
+        engine = EventEngine()
+        detector = make_detector(engine, suspect_after=3.0)
+        detector.register("rb:mp0")
+        events = []
+        detector.subscribe(lambda *args: events.append(args))
+        # Single pulse at t=10, horizon at t=30: the silence after the
+        # horizon is drain-phase quiet, never suspected.
+        drive(engine, detector, [("rb:mp0", 10.0)], stop_after=30.0)
+        assert events == []
+
+    def test_counters_shape(self):
+        engine = EventEngine()
+        detector = make_detector(engine)
+        detector.register("a")
+        detector.register("b")
+        counters = detector.counters()
+        assert counters["detector_endpoints"] == 2.0
+        assert set(counters) == {
+            "detector_endpoints",
+            "detector_checks",
+            "detector_suspects",
+            "detector_suspects_cleared",
+        }
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_event_logs(self):
+        def run_once():
+            engine = EventEngine()
+            detector = make_detector(engine, suspect_after=3.0)
+            detector.register("rb:mp0")
+            detector.register("rb:mp1")
+            events = []
+            detector.subscribe(lambda name, event, now: events.append((name, event, now)))
+            pulses = [("rb:mp0", float(t)) for t in range(10, 101, 10)]
+            pulses += [("rb:mp1", float(t)) for t in range(7, 301, 7)]
+            drive(engine, detector, pulses, stop_after=400.0)
+            return events, detector.counters()
+
+        first = run_once()
+        second = run_once()
+        assert first == second

@@ -229,3 +229,67 @@ class TestClockDrift:
         assert rb.local_clock.drift_rate == pytest.approx(
             baseline._rb_by_id["mp0"].local_clock.drift_rate
         )
+
+
+class TestNewKindValidation:
+    def test_aggregator_failure_needs_tree(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="aggregator_failure", at=10.0, target="agg1-0")
+        )
+        with pytest.raises(ValueError, match="aggregation tree"):
+            FaultInjector(plan).arm(dbo(n_ob_shards=2))
+
+    def test_ces_hiccup_needs_a_ces(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="ces_hiccup", at=10.0, duration=20.0)
+        )
+        # The DBO deployment has a CES; arming succeeds.
+        FaultInjector(plan).arm(dbo())
+
+    def test_detected_mode_needs_supervision(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        with pytest.raises(ValueError, match="supervise"):
+            FaultInjector(plan, recovery="detected").arm(dbo())
+
+    def test_unknown_recovery_mode_rejected(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        with pytest.raises(ValueError, match="recovery"):
+            FaultInjector(plan, recovery="wishful")
+
+    def test_summary_records_recovery_mode(self):
+        plan = FaultSchedule.of(FaultSpec(kind="ob_failover", at=10.0))
+        injector = FaultInjector(plan)
+        injector.arm(dbo())
+        assert injector.summary()["recovery"] == "scripted"
+
+
+class TestChannelGlobs:
+    def test_glob_matches_all_ack_channels(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=100.0, duration=50.0, channel="ack-*")
+        )
+        from repro.core.release_buffer import RetransmitPolicy
+        deployment = dbo(retransmit_policy=RetransmitPolicy())
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        deployment.run(duration=1_000.0)
+        assert injector.faults_fired == 1
+        assert injector.faults_recovered == 1
+        # All three participants' ack channels were blackholed.
+        dropped = sum(
+            channel.link.packets_blackholed
+            for channel in deployment.transport
+            if channel.name.startswith("ack-")
+        )
+        assert dropped > 0
+
+    def test_glob_matching_nothing_raises_at_fire_time(self):
+        plan = FaultSchedule.of(
+            FaultSpec(kind="partition", at=100.0, duration=50.0,
+                      channel="nonexistent-*")
+        )
+        deployment = dbo()
+        injector = FaultInjector(plan)
+        injector.arm(deployment)
+        with pytest.raises(KeyError, match="matched no channels"):
+            deployment.run(duration=1_000.0)

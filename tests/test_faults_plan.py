@@ -126,7 +126,8 @@ class TestSchedule:
         assert FAULT_KINDS == {
             "link_burst_loss", "latency_degradation", "partition",
             "rb_crash", "ob_failover", "shard_failure", "gateway_stall",
-            "duplicate_delivery", "clock_drift",
+            "duplicate_delivery", "clock_drift", "aggregator_failure",
+            "ces_hiccup",
         }
 
 
@@ -216,4 +217,98 @@ class TestClockDriftSpec:
                       magnitude=-0.8),
             name="drift",
         )
+        assert FaultSchedule.from_json(plan.to_json()) == plan
+
+
+class TestNewFaultKinds:
+    def test_aggregator_failure_spec(self):
+        spec = FaultSpec(kind="aggregator_failure", at=10.0, target="agg1-0")
+        assert spec.ends_at is None
+
+    def test_aggregator_failure_needs_target_and_no_duration(self):
+        with pytest.raises(ValueError, match="requires a target"):
+            FaultSpec(kind="aggregator_failure", at=10.0)
+        with pytest.raises(ValueError, match="no duration"):
+            FaultSpec(kind="aggregator_failure", at=10.0, duration=5.0,
+                      target="agg1-0")
+
+    def test_ces_hiccup_spec(self):
+        spec = FaultSpec(kind="ces_hiccup", at=10.0, duration=20.0)
+        assert spec.ends_at == 30.0
+
+    def test_ces_hiccup_is_global_and_windowed(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultSpec(kind="ces_hiccup", at=10.0)
+        with pytest.raises(ValueError, match="no target"):
+            FaultSpec(kind="ces_hiccup", at=10.0, duration=20.0, target="mp0")
+
+    def test_partition_accepts_channel_glob(self):
+        spec = FaultSpec(kind="partition", at=10.0, duration=5.0,
+                         channel="ack-*")
+        assert spec.channel == "ack-*"
+
+
+class TestFromTrace:
+    def _trace(self, values, step=10.0):
+        from repro.net.trace import NetworkTrace
+        times = tuple(index * step for index in range(len(values)))
+        return NetworkTrace(times=times, values=tuple(values))
+
+    def test_excursions_become_latency_windows(self):
+        trace = self._trace([1.0, 1.0, 9.0, 9.0, 1.0, 1.0, 5.0, 1.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0, target="mp0",
+                                        direction="both", name="storm")
+        assert plan.name == "storm"
+        assert [f.kind for f in plan] == ["latency_degradation"] * 2
+        first, second = plan.faults
+        # First excursion: samples at t=20,30 above threshold, closed at 40.
+        assert first.at == 20.0
+        assert first.duration == 20.0
+        # Extra one-way latency is half the peak excess (trace is RTT).
+        assert first.magnitude == pytest.approx((9.0 - 2.0) / 2.0)
+        assert second.at == 60.0
+        assert second.magnitude == pytest.approx((5.0 - 2.0) / 2.0)
+
+    def test_trailing_excursion_closed_at_trace_end(self):
+        trace = self._trace([1.0, 8.0, 8.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0, target="mp0")
+        assert len(plan) == 1
+        assert plan.faults[0].at == 10.0
+        assert plan.faults[0].duration == 10.0
+
+    def test_default_threshold_is_p95(self):
+        values = [1.0] * 99 + [100.0]
+        trace = self._trace(values)
+        plan = FaultSchedule.from_trace(trace, target="mp0")
+        assert len(plan) == 1
+        assert plan.faults[0].magnitude == pytest.approx(
+            (100.0 - trace.percentile(95.0)) / 2.0
+        )
+
+    def test_channel_addressing_and_exclusivity(self):
+        trace = self._trace([1.0, 9.0, 1.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0,
+                                        channel="rev-mp0")
+        assert plan.faults[0].channel == "rev-mp0"
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSchedule.from_trace(trace, threshold=2.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSchedule.from_trace(trace, threshold=2.0, target="mp0",
+                                     channel="rev-mp0")
+
+    def test_quiet_trace_yields_empty_plan(self):
+        trace = self._trace([1.0, 1.0, 1.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0, target="mp0")
+        assert len(plan) == 0
+
+    def test_scale_applies_to_magnitude(self):
+        trace = self._trace([1.0, 6.0, 1.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0, target="mp0",
+                                        scale=0.5)
+        assert plan.faults[0].magnitude == pytest.approx(0.5 * (6.0 - 2.0) / 2.0)
+
+    def test_derived_plan_round_trips_through_json(self):
+        trace = self._trace([1.0, 9.0, 1.0, 7.0])
+        plan = FaultSchedule.from_trace(trace, threshold=2.0, target="mp2",
+                                        direction="both", name="replay")
         assert FaultSchedule.from_json(plan.to_json()) == plan

@@ -1,0 +1,161 @@
+"""End-to-end pins for supervised (detected) automatic recovery.
+
+The contract of the self-healing control plane:
+
+* **Parity** — for every crash plan, detected-mode recovery (crash only;
+  the failure detector notices, the supervisor confirms and recovers)
+  converges on the byte-identical trade ordering digest as scripted
+  recovery, with zero trades lost and a clean safety audit.
+* **Invisibility** — a fault-free supervised run is release-for-release
+  identical to an unsupervised one and never confirms a death.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.baselines.base import default_network_specs
+from repro.core.release_buffer import RetransmitPolicy
+from repro.experiments.chaos import make_plan, run_chaos
+from repro.experiments.runner import build_deployment
+from repro.faults.plan import FaultSchedule, FaultSpec
+from repro.metrics.serialization import trade_ordering_digest
+
+DURATION = 1000.0
+
+
+def specs_factory(n, seed):
+    return partial(default_network_specs, n, seed=seed)
+
+
+def run_pair(plan, n=4, seed=7, **kwargs):
+    """Run the plan in detected and scripted mode from the same seed."""
+    detected = run_chaos(
+        "dbo", specs_factory(n, seed), DURATION, plan, seed=seed,
+        supervise=True, **kwargs,
+    )
+    scripted = run_chaos(
+        "dbo", specs_factory(n, seed), DURATION, plan, seed=seed,
+        retransmit_policy=RetransmitPolicy(), **kwargs,
+    )
+    return detected, scripted
+
+
+class TestDetectedScriptedParity:
+    @pytest.mark.parametrize("plan_name,n", [
+        ("ob-crash", 4),
+        ("shard-crash", 4),
+        ("aggregator-crash", 6),
+    ])
+    def test_crash_plans_converge_on_identical_digests(self, plan_name, n):
+        plan = make_plan(plan_name, DURATION, n)
+        detected, scripted = run_pair(plan, n=n)
+        assert detected.safe, detected.faulted_audit.counts()
+        assert scripted.safe, scripted.faulted_audit.counts()
+        assert detected.faulted_digest == scripted.faulted_digest
+        # Zero trades lost: the faulted run completes in full.
+        assert detected.degradation.faulted_completion == 1.0
+        assert scripted.degradation.faulted_completion == 1.0
+
+    def test_detected_recovery_goes_through_the_supervisor(self):
+        plan = make_plan("ob-crash", DURATION, 4)
+        detected, _ = run_pair(plan)
+        counters = detected.degradation.fault_counters
+        assert counters.get("supervisor_confirms", 0.0) >= 1.0
+        assert counters.get("supervisor_recoveries", 0.0) >= 1.0
+        recovery = detected.faulted_audit.to_dict()["recovery"]
+        states = {
+            entry["state"] for entry in recovery.get("supervisor", {}).values()
+        }
+        assert "recovered" in states
+        # Nothing stuck: every escalation either recovered or never left ok.
+        assert not detected.faulted_audit.counts().get("recovery_stalled")
+
+
+class TestFaultFreeInvisibility:
+    def test_supervised_run_identical_to_unsupervised(self):
+        seed = 9
+        base = build_deployment("dbo", default_network_specs(4, seed=seed),
+                                seed=seed)
+        clean = base.run(DURATION)
+        supervised_deployment = build_deployment(
+            "dbo", default_network_specs(4, seed=seed), seed=seed,
+            supervise=True,
+        )
+        supervised = supervised_deployment.run(DURATION)
+        assert trade_ordering_digest(clean) == trade_ordering_digest(supervised)
+        assert supervised_deployment.supervisor is not None
+        assert supervised_deployment.supervisor.confirms == 0
+        assert supervised_deployment.supervisor.recoveries == 0
+
+
+class TestDetectedWindowFaults:
+    def test_gateway_stall_resumed_by_supervisor(self):
+        plan = make_plan("gateway-stall", DURATION, 4)
+        report = run_chaos(
+            "dbo", specs_factory(4, 7), DURATION, plan, seed=7, supervise=True,
+        )
+        assert report.safe
+        assert report.degradation.faulted_completion == 1.0
+        counters = report.degradation.fault_counters
+        assert counters.get("supervisor_recoveries", 0.0) >= 1.0
+
+    def test_ces_hiccup_detected_and_externally_healed(self):
+        plan = make_plan("ces-hiccup", DURATION, 4)
+        report = run_chaos(
+            "dbo", specs_factory(4, 7), DURATION, plan, seed=7, supervise=True,
+        )
+        assert report.safe
+        assert report.degradation.fault_counters.get("feed_hiccups", 0.0) >= 1.0
+        # The scripted resume heals the feed; no stalled escalation remains.
+        assert not report.faulted_audit.counts().get("recovery_stalled")
+
+
+class TestCombinedFaults:
+    """Crashes compounded with message-plane faults, both recovery modes."""
+
+    def _aggregator_crash_during_ack_loss(self):
+        return FaultSchedule.of(
+            FaultSpec(kind="link_burst_loss", at=250.0, duration=300.0,
+                      channel="ack-mp0", magnitude=0.5),
+            FaultSpec(kind="aggregator_failure", at=400.0, target="agg1-0"),
+            name="agg-crash-under-ack-loss",
+        )
+
+    def _ob_crash_during_ack_partition(self):
+        return FaultSchedule.of(
+            FaultSpec(kind="partition", at=300.0, duration=150.0,
+                      channel="ack-*"),
+            FaultSpec(kind="ob_failover", at=360.0),
+            name="ob-crash-under-ack-partition",
+        )
+
+    def test_aggregator_crash_during_ack_loss_burst(self):
+        detected, scripted = run_pair(self._aggregator_crash_during_ack_loss(),
+                                      n=6)
+        for report in (detected, scripted):
+            assert report.safe, report.faulted_audit.counts()
+            assert report.degradation.faulted_completion == 1.0
+        assert detected.faulted_digest == scripted.faulted_digest
+
+    def test_ob_crash_during_ack_channel_partition(self):
+        detected, scripted = run_pair(self._ob_crash_during_ack_partition())
+        for report in (detected, scripted):
+            assert report.safe, report.faulted_audit.counts()
+            assert report.degradation.faulted_completion == 1.0
+        assert detected.faulted_digest == scripted.faulted_digest
+
+
+class TestAuditRecoverySection:
+    def test_recovery_snapshot_in_report(self):
+        plan = make_plan("shard-crash", DURATION, 4)
+        report = run_chaos(
+            "dbo", specs_factory(4, 7), DURATION, plan, seed=7, supervise=True,
+        )
+        doc = report.faulted_audit.to_dict()
+        assert "recovery" in doc
+        assert "rb" in doc["recovery"]
+        for state in doc["recovery"]["rb"].values():
+            assert state["unacked"] == 0.0
+            assert state["retransmits_abandoned"] == 0.0
+        assert "supervisor" in doc["recovery"]
