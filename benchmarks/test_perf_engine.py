@@ -1,18 +1,21 @@
-"""Engine hot-path benchmark: optimized runtime vs the seed behaviour.
+"""Engine hot-path benchmark: every event engine vs the seed behaviour.
 
-Runs the same 64-participant DBO workload twice:
+Runs the same 64-participant DBO workload once per engine:
 
-* **optimized** — the default stack: :class:`HeapEventEngine` with
-  in-place :class:`PeriodicTimer` rescheduling for heartbeats/keepalives
-  plus the ordering buffer's incremental watermark-extremes cache;
 * **reference** — :class:`ReferenceHeapEngine` (push-per-tick periodic
   events, emulating the seed engine) with the OB's O(N)-per-message
-  extremes scan (``ob_incremental_extremes=False``).
+  extremes scan (``ob_incremental_extremes=False``);
+* **heap** — :class:`HeapEventEngine` with in-place
+  :class:`PeriodicTimer` rescheduling and the incremental extremes cache;
+* **wheel** — :class:`BucketedCalendarEngine`, the bucketed variant;
+* **calendar** — :class:`CalendarQueueEngine`, the slotted wheel with
+  banded (batched) heartbeat delivery: one marker pop per period band
+  fans out to every due timer.
 
-Both runs produce byte-identical trade orderings (asserted) — the speedup
-is pure mechanics, no behaviour change.  Results land in
-``benchmarks/BENCH_engine.json``; the optimized engine must clear 1.3×
-the reference events/sec.
+All runs must produce byte-identical trade orderings (asserted) — the
+speedups are pure mechanics, no behaviour change.  Results land in
+``benchmarks/BENCH_engine.json`` as one machine-readable row per engine
+so the perf trajectory can be tracked per engine across PRs.
 """
 
 import json
@@ -27,7 +30,15 @@ from repro.sim.runtime import Runtime
 N_PARTICIPANTS = 64
 DURATION = 20_000.0
 SEED = 7
-MIN_SPEEDUP = 1.3
+# Wall-clock floor for the slowest production engine vs the seed
+# emulation.  Point measurements on this host put calendar at ~2.8–2.9×
+# and heap at ~2.6–3.0×; the asserted floor leaves headroom for the
+# ±10–20% single-core timing noise the CI boxes show.
+MIN_SPEEDUP = 1.8
+
+# Production engines benchmarked against the reference row, in the order
+# the rows appear in the JSON document.
+ENGINES = ["heap", "wheel", "calendar"]
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
 
@@ -55,14 +66,21 @@ def _run_mode(engine_kind: str, incremental: bool):
 
 
 def test_perf_engine_speedup(report):
-    optimized = _run_mode("heap", incremental=True)
     reference = _run_mode("reference", incremental=False)
+    rows = {kind: _run_mode(kind, incremental=True) for kind in ENGINES}
 
-    # Identical trade ordering: the optimization must be behaviour-free.
-    assert optimized["digest"] == reference["digest"]
-    assert optimized["trades"] == reference["trades"] > 0
+    # Identical trade ordering everywhere: every engine (and the
+    # incremental extremes cache) must be behaviour-free.
+    for kind, row in rows.items():
+        assert row["digest"] == reference["digest"], kind
+        assert row["trades"] == reference["trades"] > 0, kind
+        assert row["events_processed"] == reference["events_processed"], kind
 
-    ratio = optimized["events_per_second"] / reference["events_per_second"]
+    speedups = {
+        kind: row["events_per_second"] / reference["events_per_second"]
+        for kind, row in rows.items()
+    }
+    best = max(speedups, key=lambda kind: speedups[kind])
     doc = {
         "workload": {
             "scheme": "dbo",
@@ -70,9 +88,10 @@ def test_perf_engine_speedup(report):
             "duration_us": DURATION,
             "seed": SEED,
         },
-        "optimized": optimized,
         "reference": reference,
-        "speedup": ratio,
+        "engines": rows,
+        "speedups": speedups,
+        "best_engine": best,
         "min_required_speedup": MIN_SPEEDUP,
     }
     with open(BENCH_PATH, "w") as handle:
@@ -80,18 +99,22 @@ def test_perf_engine_speedup(report):
 
     lines = [
         "engine hot-path benchmark (64-MP DBO, 20 ms market data)",
-        f"  optimized: {optimized['events_per_second']:,.0f} ev/s "
-        f"({optimized['events_processed']} events, "
-        f"peak heap {optimized['peak_pending_events']})",
         f"  reference: {reference['events_per_second']:,.0f} ev/s "
         f"({reference['events_processed']} events, "
-        f"peak heap {reference['peak_pending_events']})",
-        f"  speedup: {ratio:.2f}x (required ≥ {MIN_SPEEDUP}x)",
-        f"  trade ordering identical: {optimized['digest'][:16]}…",
+        f"peak pending {reference['peak_pending_events']})",
     ]
+    for kind in ENGINES:
+        row = rows[kind]
+        lines.append(
+            f"  {kind:>9}: {row['events_per_second']:,.0f} ev/s "
+            f"(peak pending {row['peak_pending_events']}, "
+            f"{speedups[kind]:.2f}x reference)"
+        )
+    lines.append(f"  trade ordering identical: {reference['digest'][:16]}…")
     report("perf_engine", "\n".join(lines))
 
-    assert ratio >= MIN_SPEEDUP, (
-        f"optimized engine only {ratio:.2f}x faster than reference "
-        f"(needs ≥ {MIN_SPEEDUP}x)"
-    )
+    for kind, ratio in speedups.items():
+        assert ratio >= MIN_SPEEDUP, (
+            f"{kind} engine only {ratio:.2f}x faster than reference "
+            f"(needs ≥ {MIN_SPEEDUP}x)"
+        )

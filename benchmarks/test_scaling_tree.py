@@ -30,6 +30,14 @@ FANOUT = 8
 DEPTH = 3
 SEED = 7
 TAU = 20.0
+# Engine choice is a pure mechanics knob — digests/fairness are
+# engine-independent (tests/test_engine_differential.py), so the pinned
+# pair counts below hold for any value.  Measured on this workload the
+# heap engine wins at large N: delivery events dominate the mix and
+# C-coded heapq beats the calendar's pure-Python slot machinery once
+# slots grow dense (the calendar's banded heartbeat batching pays off at
+# small N, where periodic events are the bulk of the queue).
+ENGINE = "heap"
 
 # (participants, feed duration µs, drain µs).  Durations shrink with N to
 # keep the sweep tractable; per-tick counters are normalized by run
@@ -51,7 +59,7 @@ BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_scaling.json")
 
 def _run_cell(n_participants: int, duration: float, drain: float) -> dict:
     specs = default_network_specs(n_participants, seed=SEED)
-    runtime = Runtime.create(seed=SEED, engine="heap")
+    runtime = Runtime.create(seed=SEED, engine=ENGINE)
     deployment = get_builder("dbo").build(
         specs,
         runtime=runtime,
@@ -136,6 +144,7 @@ def test_scaling_tree_sweep(report):
         "benchmark": "participant-axis scaling, fanout-8 depth-3 tree",
         "seed": SEED,
         "tau_us": TAU,
+        "engine": ENGINE,
         "cells": rows,
     }
     with open(BENCH_PATH, "w") as handle:

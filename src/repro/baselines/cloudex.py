@@ -203,7 +203,7 @@ class CloudExDeployment(BaseDeployment):
     def _publish_point(self, point: MarketDataPoint) -> None:
         now = self.engine.now
         self.network_send_times[point.point_id] = now
-        self.multicast.publish(point, send_time=now)
+        self.multicast.broadcast(point, send_time=now)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

@@ -117,7 +117,7 @@ class FBADeployment(BaseDeployment):
             self._pending_points = []
             for point in points:
                 self.network_send_times[point.point_id] = now
-            self.multicast.publish(points, send_time=now)
+            self.multicast.broadcast(points, send_time=now)
         if self._pending_trades:
             trades = self._pending_trades
             self._pending_trades = []

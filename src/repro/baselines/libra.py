@@ -96,7 +96,7 @@ class LibraDeployment(BaseDeployment):
     def _publish_point(self, point: MarketDataPoint) -> None:
         now = self.engine.now
         self.network_send_times[point.point_id] = now
-        self.multicast.publish(point, send_time=now)
+        self.multicast.broadcast(point, send_time=now)
 
     def _start(self, duration: float) -> None:
         self.engine.schedule_periodic(self.window, self.window, self._close_window)

@@ -35,6 +35,10 @@ from repro.sim.clocks import Clock, PerfectClock
 
 __all__ = ["DeliveryClockStamp", "DeliveryClock", "ClockNotStartedError"]
 
+# `object.__setattr__`, hoisted: frozen-dataclass instances can only be
+# filled this way, and the attribute chain costs on the read() hot path.
+_setattr = object.__setattr__
+
 
 class ClockNotStartedError(RuntimeError):
     """Reading a delivery clock before any data point was delivered."""
@@ -143,11 +147,20 @@ class DeliveryClock:
             Before the first delivery — a participant cannot trade before
             it has ever received market data.
         """
-        if self._last_point_id is None or self._last_delivery_local is None:
+        last_point_id = self._last_point_id
+        last_delivery_local = self._last_delivery_local
+        if last_point_id is None or last_delivery_local is None:
             raise ClockNotStartedError("no market data delivered yet")
-        elapsed = self.local_clock.now(true_time) - self._last_delivery_local
+        elapsed = self.local_clock.now(true_time) - last_delivery_local
         if elapsed < 0:
             raise ValueError(
                 f"reading the clock before the last delivery (elapsed={elapsed})"
             )
-        return DeliveryClockStamp(self._last_point_id, elapsed)
+        # Hot path: a read happens per heartbeat and per trade tag.  The
+        # components are already validated (non-negative id invariant,
+        # elapsed checked above), so skip the frozen-dataclass __init__ /
+        # __post_init__ machinery and build the stamp directly.
+        stamp = object.__new__(DeliveryClockStamp)
+        _setattr(stamp, "last_point_id", last_point_id)
+        _setattr(stamp, "elapsed", elapsed)
+        return stamp

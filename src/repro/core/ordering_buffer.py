@@ -105,14 +105,17 @@ class OrderingBuffer:
         self._queued: Set[Tuple[str, int]] = set()
         self.incremental_extremes = incremental_extremes
         # Watermarks as plain tuples (mirrors states[*].watermark) plus a
-        # cached (min1, min1_mp, min2) over non-stragglers; `_min2_mp`
-        # rides along for the cache-invalidation test.
+        # lazy min-heap of (watermark, mp_id) entries over non-straggler
+        # participants.  Advances push a fresh entry; reads pop entries
+        # whose tuple no longer matches `_wm` (stale).  Straggler flips,
+        # crashes and membership changes mark the heap dirty, forcing a
+        # rare O(N) rebuild that also refreshes the waited/unreported
+        # counts.
         self._wm: Dict[str, Tuple[int, float]] = {}
-        self._ext: Tuple[
-            Optional[Tuple[int, float]], Optional[str], Optional[Tuple[int, float]]
-        ] = (None, None, None)
-        self._min2_mp: Optional[str] = None
-        self._ext_dirty = True
+        self._ext_heap: List[Tuple[Tuple[int, float], str]] = []
+        self._n_waited = len(participants)
+        self._n_unreported = len(participants)
+        self._ext_dirty = False
         # Push-based warm-up (recovery): while non-empty, releases are
         # held until every listed participant's RecoveryMarker arrives.
         self._warmup_pending: Set[str] = set()
@@ -172,16 +175,34 @@ class OrderingBuffer:
 
     def on_heartbeat(self, heartbeat: Heartbeat, send_time: float, arrival_time: float) -> None:
         """Network handler for an arriving heartbeat."""
-        state = self.states.get(heartbeat.mp_id)
+        mp_id = heartbeat.mp_id
+        state = self.states.get(mp_id)
         if state is None:
-            raise KeyError(f"heartbeat from unknown participant {heartbeat.mp_id!r}")
+            raise KeyError(f"heartbeat from unknown participant {mp_id!r}")
         self.heartbeats_processed += 1
         state.last_heartbeat_arrival = arrival_time
         stamp: Optional[DeliveryClockStamp] = heartbeat.clock
         if stamp is not None:
-            self._advance_watermark(heartbeat.mp_id, stamp)
-            self._update_straggler_state(state, stamp, arrival_time)
-        self._try_release(arrival_time)
+            # `_advance_watermark` inlined — one call per heartbeat
+            # arrival makes this the OB's hottest entry point.
+            new_t = (stamp.last_point_id, stamp.elapsed)
+            wm = self._wm
+            old_t = wm.get(mp_id)
+            if old_t is None or new_t > old_t:
+                wm[mp_id] = new_t
+                state.watermark = stamp
+                if self.incremental_extremes and not state.is_straggler:
+                    if old_t is None:
+                        self._n_unreported -= 1
+                    heapq.heappush(self._ext_heap, (new_t, mp_id))
+            if self.straggler_threshold is not None:
+                self._update_straggler_state(state, stamp, arrival_time)
+        # With nothing queued, no straggler tracking, and the incremental
+        # extremes live, `_try_release` is a no-op — skip the call.  The
+        # seed-emulating path (incremental_extremes=False) keeps its
+        # per-heartbeat extremes scan.
+        if self._heap or self.straggler_threshold is not None or not self.incremental_extremes:
+            self._try_release(arrival_time)
 
     # ------------------------------------------------------------------
     # Straggler tracking (§4.2.1)
@@ -236,17 +257,17 @@ class OrderingBuffer:
     # ------------------------------------------------------------------
     def _advance_watermark(self, mp_id: str, stamp: DeliveryClockStamp) -> None:
         new_t = (stamp.last_point_id, stamp.elapsed)
-        old_t = self._wm.get(mp_id)
+        wm = self._wm
+        old_t = wm.get(mp_id)
         if old_t is not None and new_t <= old_t:
             return
-        self._wm[mp_id] = new_t
-        self.states[mp_id].watermark = stamp
-        # The cached extremes survive unless the advance touched an
-        # extreme holder (or a first report filled a None minimum).
-        if not self._ext_dirty and (
-            old_t is None or mp_id == self._ext[1] or mp_id == self._min2_mp
-        ):
-            self._ext_dirty = True
+        wm[mp_id] = new_t
+        state = self.states[mp_id]
+        state.watermark = stamp
+        if self.incremental_extremes and not state.is_straggler:
+            if old_t is None:
+                self._n_unreported -= 1
+            heapq.heappush(self._ext_heap, (new_t, mp_id))
 
     _TOP = DeliveryClockStamp(2**62, float("inf"))
     _TOP_T = (2**62, float("inf"))
@@ -287,41 +308,29 @@ class OrderingBuffer:
             min2 = self._TOP
         return min1, min1_mp, min2
 
-    def _recompute_extremes(self) -> None:
-        """Rebuild the cached tuple extremes from the watermark dict."""
-        min1_t: Optional[Tuple[int, float]] = None
-        min1_mp: Optional[str] = None
-        min2_t: Optional[Tuple[int, float]] = None
-        min2_mp: Optional[str] = None
-        any_waited = False
+    def _rebuild_ext_heap(self) -> None:
+        """Rebuild the lazy watermark heap and the waited/unreported counts.
+
+        Runs only after straggler flips, crashes, membership changes or
+        heap compaction — the steady-state path never scans all states.
+        """
         wm = self._wm
+        entries: List[Tuple[Tuple[int, float], str]] = []
+        waited = 0
+        unreported = 0
         for mp_id, state in self.states.items():
             if state.is_straggler:
                 continue
-            any_waited = True
-            w = wm.get(mp_id)
-            if w is None:
-                self._ext = (None, None, None)
-                self._min2_mp = None
-                self._ext_dirty = False
-                return
-            if min1_t is None or w < min1_t:
-                min2_t, min2_mp = min1_t, min1_mp
-                min1_t, min1_mp = w, mp_id
-            elif min2_t is None or w < min2_t:
-                min2_t, min2_mp = w, mp_id
-        if not any_waited:
-            # Every participant is a straggler: release everything (pure
-            # FCFS degradation beats stalling the market).
-            self._ext = (self._TOP_T, None, self._TOP_T)
-            self._min2_mp = None
-        else:
-            if min2_t is None:
-                # Single waited-on participant: for its own trades there
-                # is nobody else to wait for.
-                min2_t = self._TOP_T
-            self._ext = (min1_t, min1_mp, min2_t)
-            self._min2_mp = min2_mp
+            waited += 1
+            t = wm.get(mp_id)
+            if t is None:
+                unreported += 1
+            else:
+                entries.append((t, mp_id))
+        heapq.heapify(entries)
+        self._ext_heap = entries
+        self._n_waited = waited
+        self._n_unreported = unreported
         self._ext_dirty = False
 
     def _try_release(self, now: float) -> None:
@@ -336,11 +345,40 @@ class OrderingBuffer:
             # Warm-up hold: some RB's unacked window is still being
             # re-collected, so a lower-stamped trade may yet arrive.
             return
+        heap = self._heap
         if self.incremental_extremes:
-            self._check_silent_stragglers(now)
+            if self.straggler_threshold is not None:
+                self._check_silent_stragglers(now)
+            if not heap:
+                # Nothing queued: straggler bookkeeping above still ran,
+                # but there is no release decision to make, so skip the
+                # extremes probe entirely.
+                return
             if self._ext_dirty:
-                self._recompute_extremes()
-            min1_t, min1_mp, min2_t = self._ext
+                self._rebuild_ext_heap()
+            if self._n_unreported:
+                return
+            n_waited = self._n_waited
+            if n_waited == 0:
+                # Every participant is a straggler: release everything
+                # (pure FCFS degradation beats stalling the market).
+                min1_t = min2_t = self._TOP_T
+                min1_mp = None
+            else:
+                ext_heap = self._ext_heap
+                if len(ext_heap) > 64 + 4 * n_waited:
+                    self._rebuild_ext_heap()
+                    ext_heap = self._ext_heap
+                wm = self._wm
+                while True:
+                    entry = ext_heap[0]
+                    if wm[entry[1]] == entry[0]:
+                        break
+                    heapq.heappop(ext_heap)
+                min1_t, min1_mp = entry
+                # The second minimum only bounds the minimum holder's own
+                # trades; probe for it lazily on first need.
+                min2_t = None
         else:
             min1, min1_mp, min2 = self._watermark_extremes(now)
             if min1 is None:
@@ -348,10 +386,26 @@ class OrderingBuffer:
             min1_t, min2_t = min1.as_tuple(), min2.as_tuple()
         if min1_t is None:
             return
-        heap = self._heap
         while heap:
             head = heap[0]
-            bound = min2_t if head[1] == min1_mp else min1_t
+            if head[1] == min1_mp:
+                if min2_t is None:
+                    if n_waited == 1:
+                        # Single waited-on participant: for its own
+                        # trades there is nobody else to wait for.
+                        min2_t = self._TOP_T
+                    else:
+                        first = heapq.heappop(ext_heap)
+                        while True:
+                            entry = ext_heap[0]
+                            if wm[entry[1]] == entry[0]:
+                                break
+                            heapq.heappop(ext_heap)
+                        min2_t = entry[0]
+                        heapq.heappush(ext_heap, first)
+                bound = min2_t
+            else:
+                bound = min1_t
             if head[0] >= bound:
                 break
             tagged = heapq.heappop(heap)[3]

@@ -529,17 +529,17 @@ class ReleaseBuffer:
                 self._heartbeat_timer.cancel()
             return
         now = self.engine.now
+        last_trade = self._last_trade_sent_at
         if (
             self.piggyback_suppression
-            and self._last_trade_sent_at is not None
-            and now - self._last_trade_sent_at < self.heartbeat_period
+            and last_trade is not None
+            and now - last_trade < self.heartbeat_period
         ):
             # A recent trade already proved this participant's progress.
             self.heartbeats_suppressed += 1
         else:
+            clock = self.clock
             stamp: Optional[DeliveryClockStamp]
-            stamp = self.clock.read(now) if self.clock.started else None
+            stamp = clock.read(now) if clock._last_point_id is not None else None
             self.heartbeats_sent += 1
-            self._heartbeat_sink(
-                Heartbeat(mp_id=self.mp_id, clock=stamp, generated_at=now)
-            )
+            self._heartbeat_sink(Heartbeat(self.mp_id, stamp, now))

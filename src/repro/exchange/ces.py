@@ -20,8 +20,8 @@ from typing import Any, Callable, Optional
 
 from repro.exchange.feed import FeedConfig, MarketDataFeed
 from repro.exchange.matching import MatchingEngine
-from repro.exchange.messages import MarketDataPoint
-from repro.sim.engine import EventEngine
+from repro.exchange.messages import Execution, MarketDataPoint
+from repro.sim.engine import EventEngine, PeriodicTimer
 from repro.sim.runtime import as_runtime
 
 __all__ = ["CentralExchangeServer"]
@@ -74,14 +74,14 @@ class CentralExchangeServer:
         # keepalive points so a loss-lagged participant's delivery clock
         # recovers quickly.  None disables (the paper's dense-feed case).
         self.keepalive_interval: Optional[float] = None
-        self._keepalive_timer = None
+        self._keepalive_timer: Optional[PeriodicTimer] = None
         # Fault injection (``ces_hiccup``): while paused the tick chain
         # dies and no points are generated; resume() re-arms it.
         self._paused = False
         self._tick_chain_alive = False
         self.feed_hiccups = 0
 
-    def _on_execution(self, execution) -> None:
+    def _on_execution(self, execution: Execution) -> None:
         """Publish an execution report into the market-data stream.
 
         Real exchanges derive their feed from the matching engine's
@@ -178,13 +178,15 @@ class CentralExchangeServer:
 
     def _keepalive(self) -> None:
         now = self.engine.now
+        interval = self.keepalive_interval
+        assert interval is not None and self._keepalive_timer is not None
         if self._stop_time is not None and now >= self._stop_time:
             self._keepalive_timer.cancel()
             return
         quiet_for = (
             now - self._last_emit_time if self._last_emit_time is not None else now
         )
-        if quiet_for >= self.keepalive_interval - 1e-9:
+        if quiet_for >= interval - 1e-9:
             self.keepalives_published += 1
             self._last_emit_time = now
             self.inject_external(payload="keepalive", opportunity=False)

@@ -15,7 +15,7 @@ Naming follows the paper's notation (Table 1):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 __all__ = [
@@ -129,8 +129,8 @@ class TradeOrder:
     side: Side = Side.BUY
     price: float = 0.0
     quantity: int = 1
-    order_type: "OrderType" = None  # defaults to LIMIT in __post_init__
-    time_in_force: "TimeInForce" = None  # defaults to GTC
+    order_type: Optional[OrderType] = None  # defaults to LIMIT in __post_init__
+    time_in_force: Optional[TimeInForce] = None  # defaults to GTC
     # --- ground truth for evaluation only -----------------------------
     trigger_point: Optional[int] = None
     response_time: Optional[float] = None

@@ -27,7 +27,14 @@ import bisect
 import math
 from typing import List, Sequence, Tuple
 
-from repro.sim.randomness import stable_exponential, stable_u64, stable_unit
+from repro.sim.randomness import (
+    _GOLDEN,
+    _MASK64,
+    splitmix64,
+    stable_exponential,
+    stable_u64,
+    stable_unit,
+)
 
 __all__ = [
     "LatencyModel",
@@ -106,10 +113,28 @@ class UniformJitterLatency(LatencyModel):
         self.jitter = float(jitter)
         self.seed = int(seed)
         self.slot = float(slot)
+        # The first SplitMix64 round of stable_unit(seed, index) depends
+        # only on the seed; hoist it so the per-call cost is one round.
+        self._state0 = splitmix64(self.seed & _MASK64)
+        # One-slot memo: packets sent within the same send slot share the
+        # draw (by construction), so cache the last (index, value) pair.
+        self._memo_index: int = -1
+        self._memo_value: float = self.base + self.jitter * stable_unit(self.seed, -1)
 
     def latency_at(self, t: float) -> float:
         index = int(math.floor(t / self.slot))
-        return self.base + self.jitter * stable_unit(self.seed, index)
+        if index == self._memo_index:
+            return self._memo_value
+        # Inline splitmix64((state0 ^ index) & MASK) / 2**64 — identical
+        # arithmetic to stable_unit(self.seed, index).
+        z = ((self._state0 ^ (index & _MASK64)) + _GOLDEN) & _MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        z = (z ^ (z >> 31)) & _MASK64
+        value = self.base + self.jitter * (z / 18446744073709551616.0)
+        self._memo_index = index
+        self._memo_value = value
+        return value
 
     def mean_estimate(self) -> float:
         return self.base + self.jitter / 2.0

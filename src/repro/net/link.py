@@ -84,6 +84,11 @@ class Link:
         self.record = record
         self.priority = priority
         self.records: List[DeliveryRecord] = []
+        # The callback `send` schedules for arrivals.  Defaults to the
+        # layered `_deliver`; a channel may install a fused closure that
+        # folds the link and channel delivery frames into one (it must
+        # keep the `_delivered` odometer exact).
+        self._deliver_target: DeliveryHandler = self._deliver
         self._last_arrival = float("-inf")
         self._sent = 0
         self._delivered = 0
@@ -101,6 +106,8 @@ class Link:
     def connect(self, handler: DeliveryHandler) -> None:
         """Attach the receive handler (components are built before wiring)."""
         self.handler = handler
+        # A plain re-connect drops any previously installed fused target.
+        self._deliver_target = self._deliver
 
     @property
     def packets_sent(self) -> int:
@@ -171,15 +178,20 @@ class Link:
         if self.handler is None:
             raise RuntimeError(f"link {self.name!r} has no receive handler")
         t_send = self.engine.now if send_time is None else send_time
-        if self._fault_dropped(t_send):
-            # The packet vanished in a partition/burst; report the arrival
-            # it would have seen so callers keep a uniform signature.
-            return t_send + self.latency_model.latency_at(t_send)
+        if self.blackhole or self._burst_loss_probability:
+            if self._fault_dropped(t_send):
+                # The packet vanished in a partition/burst; report the
+                # arrival it would have seen so callers keep a uniform
+                # signature.
+                return t_send + self.latency_model.latency_at(t_send)
         raw = self.latency_model.latency_at(t_send)
         arrival = t_send + raw
-        clamped = arrival < self._last_arrival
-        if clamped:
-            arrival = self._last_arrival
+        last = self._last_arrival
+        if arrival < last:
+            clamped = True
+            arrival = last
+        else:
+            clamped = False
         self._last_arrival = arrival
         self._sent += 1
         if self.record:
@@ -194,7 +206,7 @@ class Link:
             )
 
         self.engine.schedule_at(
-            arrival, self._deliver, priority=self.priority, args=(message, t_send, arrival)
+            arrival, self._deliver_target, self.priority, (message, t_send, arrival)
         )
         return arrival
 

@@ -82,3 +82,16 @@ class MulticastGroup:
             member_id: link.send(message, send_time=send_time)
             for member_id, link in self._members.items()
         }
+
+    def broadcast(self, message: Any, send_time: Optional[float] = None) -> None:
+        """Fan ``message`` out to every member, discarding arrival times.
+
+        The hot-path twin of :meth:`publish`: batch publication runs once
+        per batcher tick and never reads the per-member arrival dict, so
+        this variant skips building it (N entries per call at N members).
+        """
+        if not self._members:
+            raise RuntimeError("multicast group has no members")
+        self._published += 1
+        for link in self._members.values():
+            link.send(message, send_time=send_time)

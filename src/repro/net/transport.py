@@ -93,7 +93,25 @@ class Channel:
     def connect(self, handler: DeliveryHandler) -> None:
         """Attach the receive handler (behind the dedup hook, if any)."""
         self._handler = handler
-        self.link.connect(self._on_delivery)
+        link = self.link
+        link.connect(self._on_delivery)
+        if self._dedup_key is None:
+            # Dedup-free channel: fold the link and channel delivery
+            # frames into one closure on the arrival path.  Both
+            # odometers stay exact, and the handler is read through the
+            # channel so a later re-connect takes effect.
+            def fused_delivery(
+                message: Any,
+                send_time: float,
+                arrival_time: float,
+                _ch: "Channel" = self,
+                _link: Link = link,
+            ) -> None:
+                _link._delivered += 1
+                _ch._messages_delivered += 1
+                _ch._handler(message, send_time, arrival_time)  # type: ignore[misc]
+
+            link._deliver_target = fused_delivery
 
     def set_loss_handler(self, handler: DeliveryHandler) -> None:
         """Attach the out-of-band recovery target (Appendix D).

@@ -7,6 +7,7 @@ from repro.sim.clocks import (
     SynchronizedClock,
     make_clock,
 )
+from repro.sim.calendar import CalendarQueueEngine
 from repro.sim.engine import (
     BucketWheelEngine,
     ENGINE_FACTORIES,
@@ -43,6 +44,7 @@ __all__ = [
     "SynchronizedClock",
     "make_clock",
     "BucketWheelEngine",
+    "CalendarQueueEngine",
     "ENGINE_FACTORIES",
     "EventEngine",
     "HeapEventEngine",

@@ -1,0 +1,653 @@
+"""Slotted calendar-queue event engine tuned to the τ/δ tick structure.
+
+:class:`CalendarQueueEngine` is the third :class:`~repro.sim.engine.Scheduler`
+implementation, built for the dense periodic regime that dominates DBO
+workloads: N release buffers emitting τ-period heartbeats, per-node
+aggregation summaries, and batch ticks — nearly every event lands at a
+regular offset inside a δ-wide window.
+
+Layout
+------
+* A ring of ``wheel_slots`` time slots, each ``slot_width`` simulated
+  microseconds wide (default 20 µs — the repository's τ = δ tick).  An
+  event at time *t* hashes to absolute slot ``int(t // slot_width)``;
+  the ring covers the window ``[cursor, cursor + wheel_slots)``.
+* Per-slot insertion is an O(1) list append; a slot is sorted once when
+  the cursor reaches it (``list.sort`` on ``[time, priority, sequence]``
+  keys).  Events scheduled into the *current* slot while it drains are
+  placed with ``bisect.insort`` past the drain position, so intra-slot
+  causality (a callback scheduling another event "now") is preserved.
+* Events beyond the ring horizon go to an **overflow heap** and are
+  spilled lazily into the ring as the cursor advances — far-future or
+  aperiodic events (experiment stop times, retransmit deadlines) never
+  widen the wheel.
+* Cancellation tombstones the entry in place (``callback = None``),
+  exactly like the heap engine; tombstones are skipped and reclaimed
+  when they reach the drain front.
+
+Batched periodic delivery (timer bands)
+---------------------------------------
+``schedule_periodic`` does not enqueue one ring entry per timer.
+Timers sharing a period are coalesced into a **band**: a small heap of
+member entries ordered by ``(time, priority, sequence)``, represented
+in the calendar by a single *marker* entry carrying the band head's
+exact key.  When the marker reaches the front the engine drains the
+band in one sweep — firing every due subscriber in precisely the order
+the heap engine would have used — and re-inserts one marker at the new
+head key.  N per-MP heartbeat timers therefore cost O(1) calendar pops
+per delivery run instead of N, while remaining *observably identical*:
+sequence numbers are consumed in the same order as
+``HeapEventEngine._fire_timer`` (fire, callback, then the next tick's
+sequence), so tie-breaks, digests and counters are byte-identical.
+
+The drain only fires a member while its key precedes every other
+queued event.  Events in later slots or the overflow heap are strictly
+later than any member in the current slot, so the comparison reduces
+to the current slot's sorted run — an O(1) peek per member.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import (
+    PeriodicTimer,
+    ScheduledEvent,
+    SimulationError,
+    _EngineBase,
+)
+
+__all__ = ["CalendarQueueEngine", "DEFAULT_SLOT_WIDTH", "DEFAULT_WHEEL_SLOTS"]
+
+# One τ = δ = 20 µs tick per slot: each slot holds one heartbeat
+# generation per MP plus the deliveries it triggers.
+DEFAULT_SLOT_WIDTH = 20.0
+DEFAULT_WHEEL_SLOTS = 512
+
+
+class _TimerBand:
+    """All periodic timers sharing one period, behind a single marker."""
+
+    __slots__ = ("period", "heap", "marker")
+
+    def __init__(self, period: float) -> None:
+        self.period = period
+        # Member entries [time, priority, sequence, timer, ()] — a heap.
+        self.heap: List[list] = []
+        # The proxy entry currently queued in the calendar (or None).
+        # Its [time, priority, sequence] copy the band head's key so the
+        # marker sorts exactly where the head entry itself would.  A
+        # marker is *live* iff it is this exact object; superseded
+        # markers stay queued and are reclaimed when they surface.
+        self.marker: Optional[list] = None
+
+    # Markers copy their band head's key, so a live marker and a
+    # superseded one for the same head tie on [time, priority, sequence]
+    # and list comparison falls through to this slot.  Stale markers are
+    # skipped on identity, so any deterministic answer is correct.
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+
+class CalendarQueueEngine(_EngineBase):
+    """A slotted calendar queue with an overflow heap and timer bands.
+
+    Event semantics (FIFO tie-break, priorities, cancellation, periodic
+    timers) are identical to :class:`~repro.sim.engine.HeapEventEngine`:
+    for any workload the engines execute callbacks in exactly the same
+    order.  ``tests/test_engine_differential.py`` pins this.
+
+    Parameters
+    ----------
+    start_time:
+        Simulated time at which the engine starts (microseconds).
+    slot_width:
+        Width of one calendar slot in simulated microseconds.  Tune to
+        the dominant event period (τ); the default matches the
+        repository's τ = δ = 20 µs tick.
+    wheel_slots:
+        Number of slots in the ring; ``slot_width * wheel_slots`` is the
+        horizon beyond which events spill to the overflow heap.
+    """
+
+    __slots__ = (
+        "_slot_width",
+        "_n_slots",
+        "_ring",
+        "_ring_count",
+        "_cursor",
+        "_horizon",
+        "_run",
+        "_run_pos",
+        "_overflow",
+        "_entries",
+        "_bands",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        slot_width: float = DEFAULT_SLOT_WIDTH,
+        wheel_slots: int = DEFAULT_WHEEL_SLOTS,
+    ) -> None:
+        super().__init__(start_time)
+        if slot_width <= 0:
+            raise SimulationError("slot_width must be positive")
+        if wheel_slots < 2:
+            raise SimulationError("wheel_slots must be at least 2")
+        self._slot_width = float(slot_width)
+        self._n_slots = int(wheel_slots)
+        self._ring: List[List[list]] = [[] for _ in range(self._n_slots)]
+        self._ring_count = 0
+        self._cursor = int(self._now // self._slot_width)
+        self._horizon = self._cursor + self._n_slots
+        # The current slot's sorted drain list and position.
+        self._run: List[list] = []
+        self._run_pos = 0
+        self._overflow: List[list] = []
+        self._entries = 0
+        self._bands: Dict[float, _TimerBand] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def slot_width(self) -> float:
+        return self._slot_width
+
+    @property
+    def wheel_slots(self) -> int:
+        return self._n_slots
+
+    @property
+    def pending_events(self) -> int:
+        """Raw queue size: ring + run + overflow + band members + markers."""
+        return self._entries
+
+    @property
+    def overflow_events(self) -> int:
+        """Entries currently parked beyond the ring horizon."""
+        return len(self._overflow)
+
+    @property
+    def band_count(self) -> int:
+        """Number of distinct periods currently coalesced into bands."""
+        return sum(1 for band in self._bands.values() if band.heap)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, entry: list) -> None:
+        """Put an already-accounted entry into run / ring / overflow."""
+        slot = int(entry[0] // self._slot_width)
+        if slot <= self._cursor:
+            # Current (or passed-over) slot: keep the live tail of the
+            # drain list sorted so the entry executes in key order.
+            insort(self._run, entry, lo=self._run_pos)
+        elif slot < self._horizon:
+            self._ring[slot % self._n_slots].append(entry)
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
+
+    def _insert(self, entry: list) -> None:
+        self._place(entry)
+        self._entries += 1
+        if self._entries > self._peak_pending:
+            self._peak_pending = self._entries
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        priority: int = 1,
+        args: Tuple[Any, ...] = (),
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        # Placement is `_place` inlined: this is the engine's hottest
+        # entry point (one call per message hop).
+        time = float(time)
+        entry = [time, priority, next(self._sequence), callback, args]
+        slot = int(time // self._slot_width)
+        if slot <= self._cursor:
+            insort(self._run, entry, lo=self._run_pos)
+        elif slot < self._horizon:
+            self._ring[slot % self._n_slots].append(entry)
+            self._ring_count += 1
+        else:
+            heappush(self._overflow, entry)
+        entries = self._entries + 1
+        self._entries = entries
+        if entries > self._peak_pending:
+            self._peak_pending = entries
+        self._live += 1
+        return ScheduledEvent(entry)
+
+    def _push_entry(self, entry: list) -> None:
+        # Base-class seam: schedule_periodic routes its timer entry here.
+        if type(entry[3]) is PeriodicTimer:
+            self._band_insert(entry)
+        else:  # pragma: no cover - no other base-class caller today
+            self._insert(entry)
+
+    # ------------------------------------------------------------------
+    # Timer bands
+    # ------------------------------------------------------------------
+    def _band_insert(self, entry: list) -> None:
+        timer = entry[3]
+        band = self._bands.get(timer._period)
+        if band is None:
+            band = _TimerBand(timer._period)
+            self._bands[timer._period] = band
+        heapq.heappush(band.heap, entry)
+        self._entries += 1
+        if self._entries > self._peak_pending:
+            self._peak_pending = self._entries
+        self._sync_marker(band)
+
+    def _band_head(self, band: _TimerBand) -> Optional[list]:
+        """The band's earliest live member; prunes cancelled ones."""
+        heap = band.heap
+        while heap:
+            head = heap[0]
+            if head[3]._active:
+                return head
+            heapq.heappop(heap)
+            self._entries -= 1
+        return None
+
+    def _sync_marker(self, band: _TimerBand) -> None:
+        """Ensure the calendar holds one marker at the band head's key."""
+        head = self._band_head(band)
+        old = band.marker
+        if old is not None:
+            if head is not None and old[2] == head[2] and old[0] == head[0]:
+                return  # marker already accurate
+            # Superseded: drop the reference; the queued copy is skipped
+            # (identity check) and reclaimed when it surfaces.
+            band.marker = None
+        if head is None:
+            return
+        marker = [head[0], head[1], head[2], band, ()]
+        band.marker = marker
+        self._insert(marker)
+
+    def _drain_band(
+        self,
+        band: _TimerBand,
+        until: Optional[float],
+        max_events: Optional[int],
+        processed: int,
+    ) -> int:
+        """Fire due band members in key order; one calendar pop amortizes
+        the whole due run.  Stops at the slot edge, a run competitor with
+        a smaller key, ``until``, or the event budget — then re-inserts a
+        single marker at the new head key."""
+        heap = band.heap
+        width = self._slot_width
+        cursor = self._cursor
+        sequence = self._sequence
+        run = self._run
+        while True:
+            while heap:
+                head = heap[0]
+                if head[3]._active:
+                    break
+                heappop(heap)
+                self._entries -= 1
+            if not heap:
+                band.marker = None
+                return processed
+            time = head[0]
+            if (
+                (until is not None and time > until)
+                or int(time // width) > cursor
+                or (max_events is not None and processed >= max_events)
+            ):
+                break
+            # The only possible earlier event lives in the current run:
+            # later slots and the overflow start strictly after this slot.
+            pos = self._run_pos
+            n_run = len(run)
+            while pos < n_run:
+                competitor = run[pos]
+                if competitor[3] is None:
+                    pos += 1
+                    self._entries -= 1
+                    continue
+                break
+            self._run_pos = pos
+            if pos < n_run and run[pos] < head:
+                break
+            heappop(heap)
+            timer = head[3]
+            self._now = time
+            self._events_processed += 1
+            processed += 1
+            # Same observable order as HeapEventEngine._fire_timer: bump
+            # fires, run the callback, then consume the next tick's
+            # sequence number — tie-breaks match the heap engine exactly.
+            timer._fires += 1
+            timer._callback()
+            if timer._active:
+                # Pop + push is net zero for the entries count and can
+                # never raise the peak, so both bookkeeping writes fold
+                # away on this path.
+                entry_next = [
+                    timer._anchor + timer._fires * timer._period,
+                    head[1],
+                    next(sequence),
+                    timer,
+                    (),
+                ]
+                timer._entry = entry_next
+                heappush(heap, entry_next)
+            else:
+                self._entries -= 1
+        # Re-insert one marker at the new head key.  A callback may have
+        # re-created the marker mid-drain (new same-period timer), in
+        # which case the generic sync reconciles it.
+        if band.marker is None:
+            marker = [time, head[1], head[2], band, ()]
+            band.marker = marker
+            entries = self._entries + 1
+            self._entries = entries
+            if entries > self._peak_pending:
+                self._peak_pending = entries
+            slot = int(time // width)
+            if slot <= cursor:
+                insort(run, marker, lo=self._run_pos)
+            elif slot < self._horizon:
+                self._ring[slot % self._n_slots].append(marker)
+                self._ring_count += 1
+            else:
+                heappush(self._overflow, marker)
+        else:
+            self._sync_marker(band)
+        return processed
+
+    # ------------------------------------------------------------------
+    # Cursor / slot machinery
+    # ------------------------------------------------------------------
+    def _advance_cursor(self) -> bool:
+        """Move to the next slot holding entries; build its sorted run.
+
+        Returns ``False`` when ring and overflow are both empty.  Jumps
+        straight to the overflow head's slot across an empty ring, and
+        spills overflow entries into the ring as the horizon advances.
+        """
+        width = self._slot_width
+        n_slots = self._n_slots
+        ring = self._ring
+        overflow = self._overflow
+        self._run = []
+        self._run_pos = 0
+        while True:
+            if self._ring_count == 0:
+                if not overflow:
+                    return False
+                # Empty ring: jump the window straight to the overflow head.
+                self._cursor = int(overflow[0][0] // width)
+            else:
+                self._cursor += 1
+            self._horizon = self._cursor + n_slots
+            while overflow and int(overflow[0][0] // width) < self._horizon:
+                spilled = heapq.heappop(overflow)
+                ring[int(spilled[0] // width) % n_slots].append(spilled)
+                self._ring_count += 1
+            slot_list = ring[self._cursor % n_slots]
+            if slot_list:
+                ring[self._cursor % n_slots] = []
+                self._ring_count -= len(slot_list)
+                slot_list.sort()
+                self._run = slot_list
+                self._run_pos = 0
+                return True
+
+    def _next_live(self) -> Optional[list]:
+        """Advance to the next executable entry without executing it.
+
+        Prunes tombstones and stale band markers in passing; re-syncs a
+        marker whose band head moved.  Returns ``None`` when drained.
+        """
+        while True:
+            run = self._run
+            pos = self._run_pos
+            n_run = len(run)
+            while pos < n_run:
+                entry = run[pos]
+                callback = entry[3]
+                if callback is None:
+                    pos += 1
+                    self._entries -= 1
+                    continue
+                if type(callback) is _TimerBand:
+                    band = callback
+                    if band.marker is not entry:
+                        # Superseded marker that escaped tombstoning.
+                        pos += 1
+                        self._entries -= 1
+                        continue
+                    head = self._band_head(band)
+                    if head is None:
+                        band.marker = None
+                        pos += 1
+                        self._entries -= 1
+                        continue
+                    if head[2] != entry[2] or head[0] != entry[0]:
+                        # Head moved (cancel/re-anchor): re-place marker.
+                        band.marker = None
+                        pos += 1
+                        self._entries -= 1
+                        self._run_pos = pos
+                        self._sync_marker(band)
+                        run = self._run
+                        pos = self._run_pos
+                        n_run = len(run)
+                        continue
+                self._run_pos = pos
+                return entry
+            self._run_pos = pos
+            if not self._advance_cursor():
+                return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event (heap-engine contract)."""
+        while True:
+            entry = self._next_live()
+            if entry is None:
+                return False
+            callback = entry[3]
+            if type(callback) is _TimerBand:
+                self._run_pos += 1
+                self._entries -= 1
+                callback.marker = None
+                if self._drain_band(callback, None, 1, 0):
+                    return True
+                continue
+            self._run_pos += 1
+            self._entries -= 1
+            entry[3] = None
+            self._live -= 1
+            self._now = entry[0]
+            self._events_processed += 1
+            args = entry[4]
+            if args:
+                callback(*args)
+            else:
+                callback()
+            return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until drained / ``until`` / ``max_events`` (heap-engine contract)."""
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            # `_next_live` inlined: the prune/validate/execute loop below
+            # is the engine's inner loop, one iteration per queue entry.
+            # `self._run_pos` is synced from the local `pos` before every
+            # callback, helper call and return (those are the only other
+            # readers); `self._run` is mutated in place by `schedule_at`
+            # during callbacks, so the `run` binding stays valid until
+            # `_advance_cursor` swaps in the next slot.
+            processed = 0
+            run = self._run
+            pos = self._run_pos
+            width = self._slot_width
+            sequence = self._sequence
+            while True:
+                if pos >= len(run):
+                    self._run_pos = pos
+                    if not self._advance_cursor():
+                        break
+                    run = self._run
+                    pos = 0
+                    continue
+                entry = run[pos]
+                callback = entry[3]
+                if callback is None:
+                    pos += 1
+                    self._entries -= 1
+                    continue
+                time = entry[0]
+                if type(callback) is _TimerBand:
+                    band = callback
+                    if band.marker is not entry:
+                        # Superseded marker surfacing: reclaim.
+                        pos += 1
+                        self._entries -= 1
+                        continue
+                    bheap = band.heap
+                    while bheap:
+                        head = bheap[0]
+                        if head[3]._active:
+                            break
+                        heappop(bheap)
+                        self._entries -= 1
+                    if not bheap:
+                        band.marker = None
+                        pos += 1
+                        self._entries -= 1
+                        continue
+                    if head[2] != entry[2]:
+                        # Head moved (cancel/re-anchor): sequence numbers
+                        # are globally unique, so a seq mismatch is the
+                        # complete stale-marker test.  Re-place it.
+                        band.marker = None
+                        pos += 1
+                        self._entries -= 1
+                        self._run_pos = pos
+                        self._sync_marker(band)
+                        run = self._run
+                        pos = self._run_pos
+                        continue
+                    if until is not None and time > until:
+                        self._run_pos = pos
+                        if until > self._now:
+                            self._now = until
+                        return
+                    if max_events is not None and processed >= max_events:
+                        self._run_pos = pos
+                        return
+                    # Fire the band head inline.  The marker object is
+                    # consumed positionally but *reused*: its key is
+                    # rewritten to the new head's and it is re-placed, so
+                    # a fire costs no allocation and no entries churn.
+                    # The until / max_events guards above re-run per
+                    # member, so a multi-member drain is this branch
+                    # repeating until the marker sorts past a competitor.
+                    pos += 1
+                    self._run_pos = pos
+                    heappop(bheap)
+                    timer = head[3]
+                    self._now = time
+                    self._events_processed += 1
+                    processed += 1
+                    # Same observable order as HeapEventEngine._fire_timer:
+                    # bump fires, run the callback, then consume the next
+                    # tick's sequence number — tie-breaks match exactly.
+                    timer._fires += 1
+                    timer._callback()
+                    if timer._active:
+                        entry_next = [
+                            timer._anchor + timer._fires * timer._period,
+                            head[1],
+                            next(sequence),
+                            timer,
+                            (),
+                        ]
+                        timer._entry = entry_next
+                        heappush(bheap, entry_next)
+                    else:
+                        self._entries -= 1
+                    if band.marker is not entry:
+                        # A callback re-synced the band mid-fire (new
+                        # same-period timer) and superseded this marker:
+                        # pay for the consumed copy, then reconcile.
+                        self._entries -= 1
+                        self._sync_marker(band)
+                        run = self._run
+                        pos = self._run_pos
+                        continue
+                    while bheap:
+                        head = bheap[0]
+                        if head[3]._active:
+                            break
+                        heappop(bheap)
+                        self._entries -= 1
+                    if not bheap:
+                        band.marker = None
+                        self._entries -= 1
+                        continue
+                    time = head[0]
+                    entry[0] = time
+                    entry[1] = head[1]
+                    entry[2] = head[2]
+                    slot = int(time // width)
+                    if slot <= self._cursor:
+                        insort(run, entry, lo=pos)
+                    elif slot < self._horizon:
+                        self._ring[slot % self._n_slots].append(entry)
+                        self._ring_count += 1
+                    else:
+                        heappush(self._overflow, entry)
+                    continue
+                if until is not None and time > until:
+                    self._run_pos = pos
+                    if until > self._now:
+                        self._now = until
+                    return
+                if max_events is not None and processed >= max_events:
+                    self._run_pos = pos
+                    return
+                pos += 1
+                self._entries -= 1
+                entry[3] = None
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                processed += 1
+                self._run_pos = pos
+                args = entry[4]
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

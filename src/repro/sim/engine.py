@@ -738,15 +738,24 @@ class BucketWheelEngine(_EngineBase):
 # site (and test) uses.
 EventEngine = HeapEventEngine
 
+
+def _calendar_factory(start_time: float = 0.0, **kwargs: Any) -> _EngineBase:
+    # Imported lazily: repro.sim.calendar builds on this module.
+    from repro.sim.calendar import CalendarQueueEngine
+
+    return CalendarQueueEngine(start_time=start_time, **kwargs)
+
+
 ENGINE_FACTORIES: Dict[str, Callable[..., _EngineBase]] = {
     "heap": HeapEventEngine,
     "wheel": BucketWheelEngine,
+    "calendar": _calendar_factory,
     "reference": ReferenceHeapEngine,
 }
 
 
 def make_engine(kind: str = "heap", start_time: float = 0.0, **kwargs: Any) -> _EngineBase:
-    """Build an event engine by name (``heap``, ``wheel``, ``reference``)."""
+    """Build an engine by name (``heap``, ``wheel``, ``calendar``, ``reference``)."""
     try:
         factory = ENGINE_FACTORIES[kind]
     except KeyError:

@@ -257,7 +257,7 @@ def test_make_engine_factory():
         make_engine,
     )
 
-    assert set(ENGINE_FACTORIES) == {"heap", "wheel", "reference"}
+    assert set(ENGINE_FACTORIES) == {"heap", "wheel", "calendar", "reference"}
     assert isinstance(make_engine("heap"), HeapEventEngine)
     assert isinstance(make_engine("wheel", bucket_width=16.0), BucketWheelEngine)
     assert isinstance(make_engine("reference"), ReferenceHeapEngine)
