@@ -22,10 +22,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exchange.ces import CentralExchangeServer
 from repro.exchange.feed import FeedConfig
-from repro.exchange.messages import TradeOrder
+from repro.exchange.messages import MarketDataPoint, TradeOrder
 from repro.metrics.records import RunResult, TradeRecord
 from repro.net.latency import LatencyModel, UniformJitterLatency
 from repro.net.link import DeliveryHandler, Link, LossyLink
+from repro.net.multicast import MulticastGroup
 from repro.net.transport import Channel, MessageKey, Transport
 from repro.participants.mp import MarketParticipant
 from repro.participants.response_time import ResponseTimeModel, UniformResponseTime
@@ -134,6 +135,12 @@ class BaseDeployment:
     """
 
     scheme_name = "base"
+    # What the scheme promises about its release order.  The fault
+    # auditor keys off this: a "deterministic" scheme treats a
+    # stamp-order regression as a safety violation, a "probabilistic"
+    # one (repro.ordering.deployment.ProbDeployment) reports it as a
+    # measured — and theory-bounded — unfairness event instead.
+    ordering_guarantee = "deterministic"
 
     def __init__(
         self,
@@ -178,6 +185,8 @@ class BaseDeployment:
         # Per-point network send times: stamped when a point (or the batch
         # carrying it) enters the network.
         self.network_send_times: Dict[int, float] = {}
+        # Forward-path fan-out; deployments join legs via _open_forward_leg.
+        self.multicast = MulticastGroup()
         # External stream configs: (name, latency_model, mean_interval, seed).
         self._external_configs: List[tuple] = []
         self.external_sources: List = []
@@ -371,6 +380,54 @@ class BaseDeployment:
             dedup_key=dedup_key,
             handler=handler,
         )
+
+    def _open_forward_leg(
+        self, index: int, dedup_key: MessageKey, handler: DeliveryHandler
+    ) -> Channel:
+        """Participant ``index``'s data leg: a dedup'd forward channel with
+        out-of-band loss recovery, joined to ``self.multicast``."""
+        spec = self.specs[index]
+        mp_id = self.mp_ids[index]
+        forward = self._open_channel(
+            spec.forward,
+            spec,
+            name=f"fwd-{mp_id}",
+            seed_salt=2 * index,
+            source="ces",
+            destination=mp_id,
+            dedup_key=dedup_key,
+            handler=handler,
+        )
+        forward.set_loss_handler(handler)
+        self.multicast.add_member(mp_id, forward)
+        return forward
+
+    def _open_reverse_leg(
+        self, index: int, dedup_key: MessageKey, handler: DeliveryHandler
+    ) -> Channel:
+        """Participant ``index``'s trade leg: a dedup'd reverse channel with
+        out-of-band loss recovery."""
+        spec = self.specs[index]
+        mp_id = self.mp_ids[index]
+        reverse = self._open_channel(
+            spec.reverse,
+            spec,
+            name=f"rev-{mp_id}",
+            seed_salt=2 * index + 1,
+            direction="reverse",
+            source=mp_id,
+            destination="ces",
+            dedup_key=dedup_key,
+            handler=handler,
+        )
+        reverse.set_loss_handler(handler)
+        return reverse
+
+    def _publish_point(self, point: MarketDataPoint) -> None:
+        """Per-point multicast distributor: stamp send time, broadcast."""
+        now = self.engine.now
+        self.network_send_times[point.point_id] = now
+        self.multicast.broadcast(point, send_time=now)
 
     def _wire_mp_submitter(self, index: int, rb_intercept: Callable[[TradeOrder], None]) -> None:
         """Connect an MP's trade output to its RB, honouring mp_to_rb delay."""

@@ -14,15 +14,23 @@ when the packet arrives — the component can only forward immediately
 inflates latency *always*, not just during spikes.  §6.4 evaluates
 CloudEx with perfectly synchronized clocks; the ``sync_error`` knob here
 additionally models imperfect synchronization.
+
+The trade-side hold rule is
+:class:`repro.ordering.cloudex.SyncDeadlinePolicy` on the shared
+:class:`repro.core.release_engine.ReleaseEngine`;
+:class:`CloudExOrderingBuffer` is the thin named wrapper binding the two
+(kept for its public name), and this module otherwise carries topology
+plus the data-side release buffer.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.base import BaseDeployment
+from repro.core.release_engine import ReleaseEngine
 from repro.exchange.messages import MarketDataPoint, TradeOrder
+from repro.ordering.cloudex import SyncDeadlinePolicy
 from repro.sim.clocks import SynchronizedClock
 
 __all__ = ["CloudExDeployment", "CloudExReleaseBuffer", "CloudExOrderingBuffer"]
@@ -62,50 +70,39 @@ class CloudExReleaseBuffer:
         self._mp_handler((point,), release)
 
 
-class CloudExOrderingBuffer:
+class CloudExOrderingBuffer(ReleaseEngine):
     """CES-side buffer forwarding trades at ``S + C2``, ordered by ``S``.
 
     Trades arriving after their deadline have missed their slot and are
-    forwarded immediately — out of order, i.e. unfairly.
+    forwarded immediately — out of order, i.e. unfairly.  A named
+    :class:`~repro.core.release_engine.ReleaseEngine` over
+    :class:`~repro.ordering.cloudex.SyncDeadlinePolicy`; messages are
+    the reverse-channel ``(order, submit_stamp)`` tuples.
     """
 
-    def __init__(self, engine, c2: float, clock: SynchronizedClock, sink) -> None:
-        self.engine = engine
-        self.c2 = float(c2)
-        self.clock = clock
-        self.sink = sink
-        # Heap keyed by (stamped submission time, mp_id, seq).
-        self._heap: List[Tuple[float, str, int, TradeOrder]] = []
-        self.overruns = 0
-        self.trades_forwarded = 0
+    def __init__(
+        self,
+        engine,
+        c2: float,
+        clock: SynchronizedClock,
+        sink: Callable[[TradeOrder, float], None],
+    ) -> None:
+        self.policy_: SyncDeadlinePolicy = SyncDeadlinePolicy(c2=c2, clock=clock)
+        super().__init__(
+            self.policy_,
+            sink=lambda stamped, now: sink(stamped[0], now),
+            engine=engine,
+        )
 
-    def on_trade(self, stamped: Tuple[TradeOrder, float], send_time: float, arrival_time: float) -> None:
-        order, submit_stamp = stamped
-        deadline_local = submit_stamp + self.c2
-        deadline_true = deadline_local - self.clock.error_at(arrival_time)
-        if arrival_time >= deadline_true:
-            # Deadline already missed: forward now, out of order.
-            self.overruns += 1
-            self._forward(order, arrival_time)
-            return
-        heapq.heappush(self._heap, (submit_stamp, order.mp_id, order.trade_seq, order))
-        self.engine.schedule_at(deadline_true, self._release_due, priority=2)
+    @property
+    def overruns(self) -> int:
+        return self.policy_.overruns
 
-    def _release_due(self) -> None:
-        now = self.engine.now
-        # Forward every queued trade whose deadline has passed, in stamp
-        # order (deadline order == stamp order since C2 is constant).
-        while self._heap:
-            submit_stamp, _, _, order = self._heap[0]
-            deadline_true = submit_stamp + self.c2 - self.clock.error_at(now)
-            if deadline_true > now + 1e-9:
-                break
-            heapq.heappop(self._heap)
-            self._forward(order, now)
-
-    def _forward(self, order: TradeOrder, now: float) -> None:
-        self.trades_forwarded += 1
-        self.sink(order, now)
+    @property
+    def trades_forwarded(self) -> int:
+        # Historically every forward — including the duplicate deliveries
+        # the matching engine then rejected — incremented this.
+        return self.trades_released + self.duplicates_ignored
 
 
 class CloudExDeployment(BaseDeployment):
@@ -148,10 +145,7 @@ class CloudExDeployment(BaseDeployment):
             clock=self._make_sync_clock(9999),
             sink=lambda order, now: me.submit(order, forward_time=now),
         )
-        from repro.net.multicast import MulticastGroup
-
-        self.multicast = MulticastGroup()
-        for index, spec in enumerate(self.specs):
+        for index in range(len(self.specs)):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
             rb = CloudExReleaseBuffer(
@@ -160,33 +154,12 @@ class CloudExDeployment(BaseDeployment):
             rb.connect_mp(mp.on_data)
             self.rbs.append(rb)
 
-            forward = self._open_channel(
-                spec.forward,
-                spec,
-                name=f"fwd-{mp_id}",
-                seed_salt=2 * index,
-                source="ces",
-                destination=mp_id,
-                dedup_key=lambda point: point.point_id,
-                handler=rb.on_point,
-            )
-            forward.set_loss_handler(rb.on_point)
-            self.multicast.add_member(mp_id, forward)
-
             # Reverse messages are (order, sync stamp) tuples; the order
             # key dedups because the ME rejects duplicate submissions.
-            reverse = self._open_channel(
-                spec.reverse,
-                spec,
-                name=f"rev-{mp_id}",
-                seed_salt=2 * index + 1,
-                direction="reverse",
-                source=mp_id,
-                destination="ces",
-                dedup_key=lambda stamped: stamped[0].key,
-                handler=self.ob.on_trade,
+            self._open_forward_leg(index, lambda point: point.point_id, rb.on_point)
+            reverse = self._open_reverse_leg(
+                index, lambda stamped: stamped[0].key, self.ob.on_trade
             )
-            reverse.set_loss_handler(self.ob.on_trade)
 
             mp_clock = self._make_sync_clock(1000 + index)
 
@@ -199,11 +172,6 @@ class CloudExDeployment(BaseDeployment):
             self._wire_mp_submitter(index, submit)
 
         self.ces.set_distributor(self._publish_point)
-
-    def _publish_point(self, point: MarketDataPoint) -> None:
-        now = self.engine.now
-        self.network_send_times[point.point_id] = now
-        self.multicast.broadcast(point, send_time=now)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

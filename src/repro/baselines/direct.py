@@ -5,6 +5,10 @@ each participant as generated, trades travel straight back to the CES and
 are sequenced first-come-first-served.  Latency is as low as the network
 allows; fairness is whatever the network's asymmetry happens to produce
 (74.6 % on the paper's quiet testbed, 57.6 % in the cloud).
+
+The FCFS rule is :class:`repro.ordering.direct.PassthroughPolicy` on the
+shared :class:`repro.core.release_engine.ReleaseEngine`; this module is
+pure topology.
 """
 
 from __future__ import annotations
@@ -12,9 +16,9 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.baselines.base import BaseDeployment
+from repro.core.release_engine import ReleaseEngine
 from repro.exchange.messages import MarketDataPoint
-from repro.exchange.sequencer import FCFSSequencer
-from repro.net.multicast import MulticastGroup
+from repro.ordering.direct import PassthroughPolicy
 
 __all__ = ["DirectDeployment"]
 
@@ -25,11 +29,14 @@ class DirectDeployment(BaseDeployment):
     scheme_name = "direct"
 
     def _build(self) -> None:
-        self.multicast = MulticastGroup()
-        self.sequencer = FCFSSequencer(self.ces.matching_engine)
+        me = self.ces.matching_engine
+        self.release_engine = ReleaseEngine(
+            PassthroughPolicy(),
+            sink=lambda order, now: me.submit(order, forward_time=now),
+        )
         self._arrivals: Dict[str, Dict[int, float]] = {mp_id: {} for mp_id in self.mp_ids}
 
-        for index, spec in enumerate(self.specs):
+        for index in range(len(self.specs)):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
 
@@ -44,47 +51,16 @@ class DirectDeployment(BaseDeployment):
                 mp.on_data((point,), arrival_time)
 
             # Point ids are unique, so channel dedup absorbs at-least-once
-            # delivery without the MP seeing the same point twice.
-            forward = self._open_channel(
-                spec.forward,
-                spec,
-                name=f"fwd-{mp_id}",
-                seed_salt=2 * index,
-                source="ces",
-                destination=mp_id,
-                dedup_key=lambda point: point.point_id,
-                handler=on_point,
-            )
-            # A lost point is recovered out-of-band and handed over late.
-            forward.set_loss_handler(on_point)
-            self.multicast.add_member(mp_id, forward)
-
-            # The FCFS sequencer forwards straight into the matching
+            # delivery without the MP seeing the same point twice; the
+            # passthrough engine forwards straight into the matching
             # engine, which rejects duplicate keys — dedup at the channel.
-            reverse = self._open_channel(
-                spec.reverse,
-                spec,
-                name=f"rev-{mp_id}",
-                seed_salt=2 * index + 1,
-                direction="reverse",
-                source=mp_id,
-                destination="ces",
-                dedup_key=lambda order: order.key,
-                handler=lambda order, send_time, arrival_time: self.sequencer.on_trade(
-                    order, arrival_time
-                ),
-            )
-            reverse.set_loss_handler(
-                lambda order, send_time, arrival_time: self.sequencer.on_trade(order, arrival_time)
+            self._open_forward_leg(index, lambda point: point.point_id, on_point)
+            reverse = self._open_reverse_leg(
+                index, lambda order: order.key, self.release_engine.on_trade
             )
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         self.ces.set_distributor(self._publish_point)
-
-    def _publish_point(self, point: MarketDataPoint) -> None:
-        now = self.engine.now
-        self.network_send_times[point.point_id] = now
-        self.multicast.broadcast(point, send_time=now)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:
@@ -95,4 +71,11 @@ class DirectDeployment(BaseDeployment):
         return self._raw_arrivals()
 
     def _counters(self) -> Dict[str, float]:
-        return {"trades_sequenced": float(self.sequencer.trades_sequenced)}
+        # Duplicates historically reached the (idempotent) matching
+        # engine and still counted as sequenced — preserve that tally.
+        engine = self.release_engine
+        return {
+            "trades_sequenced": float(
+                engine.trades_released + engine.duplicates_ignored
+            )
+        }

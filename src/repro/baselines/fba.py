@@ -11,6 +11,11 @@ FBA is "fair" in the sense that network latency gives nobody an edge —
 but it does so by abolishing the speed race entirely (a faster responder
 wins only 50 % of pairwise races) and its latency is the batch interval.
 Both effects show up in the comparison benchmarks.
+
+The hold-and-shuffle rule is
+:class:`repro.ordering.fba.BatchAuctionPolicy` on the shared
+:class:`repro.core.release_engine.ReleaseEngine`; this module carries
+the topology and the data-side batching.
 """
 
 from __future__ import annotations
@@ -18,8 +23,9 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.baselines.base import BaseDeployment
-from repro.exchange.messages import MarketDataPoint, TradeOrder
-from repro.net.multicast import MulticastGroup
+from repro.core.release_engine import ReleaseEngine
+from repro.exchange.messages import MarketDataPoint
+from repro.ordering.fba import BatchAuctionPolicy
 
 __all__ = ["FBADeployment"]
 
@@ -44,18 +50,26 @@ class FBADeployment(BaseDeployment):
             raise ValueError("batch_interval must be positive")
         self.batch_interval = batch_interval
         self._pending_points: List[MarketDataPoint] = []
-        self._pending_trades: List[TradeOrder] = []
         self._arrivals: Dict[str, Dict[int, float]] = {}
         self._deliveries: Dict[str, Dict[int, float]] = {}
-        self._shuffler = self.runtime.substream(77)
+        # One unit draw per batched trade at each non-empty boundary
+        # (substream salts are position-independent, so creating the
+        # stream here is digest-identical to the historical in-place
+        # shuffler).
+        self.release_engine = ReleaseEngine(
+            BatchAuctionPolicy(self.runtime.substream(77)),
+            sink=self._execute,
+        )
         self.auctions_held = 0
 
+    def _execute(self, order, now: float) -> None:
+        self.ces.matching_engine.submit(order, forward_time=now)
+
     def _build(self) -> None:
-        self.multicast = MulticastGroup()
         self._arrivals = {mp_id: {} for mp_id in self.mp_ids}
         self._deliveries = self._arrivals  # no extra hold beyond CES batching
 
-        for index, spec in enumerate(self.specs):
+        for index in range(len(self.specs)):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
             def on_points(
@@ -70,34 +84,17 @@ class FBADeployment(BaseDeployment):
                 mp.on_data(points, arrival_time)
 
             # Each auction publishes one point tuple; its id span is a
-            # unique identity for channel-level dedup.
-            forward = self._open_channel(
-                spec.forward,
-                spec,
-                name=f"fwd-{mp_id}",
-                seed_salt=2 * index,
-                source="ces",
-                destination=mp_id,
-                dedup_key=lambda points: (points[0].point_id, points[-1].point_id),
-                handler=on_points,
+            # unique identity for channel-level dedup.  A duplicated trade
+            # would reach the matching engine twice at the next auction —
+            # dedup by order key at the channel.
+            self._open_forward_leg(
+                index,
+                lambda points: (points[0].point_id, points[-1].point_id),
+                on_points,
             )
-            forward.set_loss_handler(on_points)
-            self.multicast.add_member(mp_id, forward)
-
-            # A duplicated trade would reach the matching engine twice at
-            # the next auction — dedup by order key at the channel.
-            reverse = self._open_channel(
-                spec.reverse,
-                spec,
-                name=f"rev-{mp_id}",
-                seed_salt=2 * index + 1,
-                direction="reverse",
-                source=mp_id,
-                destination="ces",
-                dedup_key=lambda order: order.key,
-                handler=lambda order, s, a: self._pending_trades.append(order),
+            reverse = self._open_reverse_leg(
+                index, lambda order: order.key, self.release_engine.on_trade
             )
-            reverse.set_loss_handler(lambda order, s, a: self._pending_trades.append(order))
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         # Late-bound lambda: _auction swaps the pending list out, so the
@@ -118,15 +115,10 @@ class FBADeployment(BaseDeployment):
             for point in points:
                 self.network_send_times[point.point_id] = now
             self.multicast.broadcast(points, send_time=now)
-        if self._pending_trades:
-            trades = self._pending_trades
-            self._pending_trades = []
-            # Equal priority: uniform random execution order.
-            order = sorted(
-                range(len(trades)), key=lambda _: self._shuffler.next_unit()
-            )
-            for position in order:
-                self.ces.matching_engine.submit(trades[position], forward_time=now)
+        # Equal priority: the policy shuffles the period's trades and the
+        # engine releases them into the matching engine, all inside this
+        # one boundary event (points first — the historical order).
+        self.release_engine.on_boundary(now)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

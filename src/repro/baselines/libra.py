@@ -10,15 +10,21 @@ degrades as latency variability grows past the window.
 
 Market data is delivered directly (Libra does not touch the forward
 path).
+
+The hold-and-shuffle rule is
+:class:`repro.ordering.libra.RandomizedWindowPolicy` on the shared
+:class:`repro.core.release_engine.ReleaseEngine`; this module is pure
+topology.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.baselines.base import BaseDeployment
-from repro.exchange.messages import MarketDataPoint, TradeOrder
-from repro.net.multicast import MulticastGroup
+from repro.core.release_engine import ReleaseEngine
+from repro.exchange.messages import MarketDataPoint
+from repro.ordering.libra import RandomizedWindowPolicy
 
 __all__ = ["LibraDeployment"]
 
@@ -40,16 +46,19 @@ class LibraDeployment(BaseDeployment):
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
-        self._window_trades: List[TradeOrder] = []
         self._arrivals: Dict[str, Dict[int, float]] = {}
-        self._shuffler = self.runtime.substream(78)
+        self.release_engine = ReleaseEngine(
+            RandomizedWindowPolicy(self.runtime.substream(78)),
+            sink=lambda order, now: self.ces.matching_engine.submit(
+                order, forward_time=now
+            ),
+        )
         self.windows_closed = 0
 
     def _build(self) -> None:
-        self.multicast = MulticastGroup()
         self._arrivals = {mp_id: {} for mp_id in self.mp_ids}
 
-        for index, spec in enumerate(self.specs):
+        for index in range(len(self.specs)):
             mp_id = self.mp_ids[index]
             mp = self.participants[index]
             def on_point(
@@ -62,41 +71,15 @@ class LibraDeployment(BaseDeployment):
                 self._arrivals[mp_id][point.point_id] = arrival_time
                 mp.on_data((point,), arrival_time)
 
-            forward = self._open_channel(
-                spec.forward,
-                spec,
-                name=f"fwd-{mp_id}",
-                seed_salt=2 * index,
-                source="ces",
-                destination=mp_id,
-                dedup_key=lambda point: point.point_id,
-                handler=on_point,
-            )
-            forward.set_loss_handler(on_point)
-            self.multicast.add_member(mp_id, forward)
-
             # A duplicated trade would hit the matching engine twice at
             # window close — dedup by order key at the channel.
-            reverse = self._open_channel(
-                spec.reverse,
-                spec,
-                name=f"rev-{mp_id}",
-                seed_salt=2 * index + 1,
-                direction="reverse",
-                source=mp_id,
-                destination="ces",
-                dedup_key=lambda order: order.key,
-                handler=lambda order, s, a: self._window_trades.append(order),
+            self._open_forward_leg(index, lambda point: point.point_id, on_point)
+            reverse = self._open_reverse_leg(
+                index, lambda order: order.key, self.release_engine.on_trade
             )
-            reverse.set_loss_handler(lambda order, s, a: self._window_trades.append(order))
             self._wire_mp_submitter(index, lambda order, link=reverse: link.send(order))
 
         self.ces.set_distributor(self._publish_point)
-
-    def _publish_point(self, point: MarketDataPoint) -> None:
-        now = self.engine.now
-        self.network_send_times[point.point_id] = now
-        self.multicast.broadcast(point, send_time=now)
 
     def _start(self, duration: float) -> None:
         self.engine.schedule_periodic(self.window, self.window, self._close_window)
@@ -104,12 +87,7 @@ class LibraDeployment(BaseDeployment):
     def _close_window(self) -> None:
         now = self.engine.now
         self.windows_closed += 1
-        if self._window_trades:
-            trades = self._window_trades
-            self._window_trades = []
-            order = sorted(range(len(trades)), key=lambda _: self._shuffler.next_unit())
-            for position in order:
-                self.ces.matching_engine.submit(trades[position], forward_time=now)
+        self.release_engine.on_boundary(now)
 
     # ------------------------------------------------------------------
     def _raw_arrivals(self) -> Dict[str, Dict[int, float]]:

@@ -27,7 +27,8 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.core.params import AggregationTopology, DBOParams, SupervisionPolicy
 from repro.core.release_buffer import RetransmitPolicy
 from repro.exchange.feed import FeedConfig
-from repro.experiments.runner import SCHEMES, comparison_table, run_scheme, summarize
+from repro.experiments.registry import REGISTRY, available_schemes
+from repro.experiments.runner import comparison_table, run_scheme, summarize
 from repro.metrics.serialization import summary_to_dict, trade_ordering_digest
 from repro.sim.engine import ENGINE_FACTORIES
 from repro.experiments.chaos import CHAOS_PLANS, make_plan, run_chaos
@@ -72,6 +73,13 @@ FIGURES = {
 }
 
 
+def _scheme_help() -> str:
+    """One line per registered scheme, straight from the registry."""
+    return "; ".join(
+        f"{name}: {REGISTRY.get(name).description}" for name in available_schemes()
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,7 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one scheme and print its digest")
     _add_common(run_p)
-    run_p.add_argument("--scheme", choices=sorted(SCHEMES), default="dbo")
+    run_p.add_argument(
+        "--scheme", choices=available_schemes(), default="dbo", help=_scheme_help()
+    )
     run_p.add_argument("--save", metavar="PATH", help="save the RunResult as JSON")
     run_p.add_argument(
         "--json", action="store_true", help="emit the digest as JSON on stdout"
@@ -93,8 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--schemes",
         nargs="+",
-        choices=sorted(SCHEMES),
+        choices=available_schemes(),
         default=["direct", "dbo"],
+        help=_scheme_help(),
     )
     cmp_p.add_argument(
         "--json", action="store_true", help="emit the comparison as JSON on stdout"
@@ -120,7 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="run a fault plan against a scheme, audit, and diff vs a clean twin"
     )
     _add_common(chaos_p)
-    chaos_p.add_argument("--scheme", choices=sorted(SCHEMES), default="dbo")
+    chaos_p.add_argument(
+        "--scheme", choices=available_schemes(), default="dbo", help=_scheme_help()
+    )
     chaos_p.add_argument(
         "--plan",
         choices=sorted(CHAOS_PLANS),
@@ -157,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-engine implementation backing every run",
     )
     ct_p.add_argument(
-        "--schemes", nargs="+", choices=sorted(SCHEMES), default=None,
+        "--schemes", nargs="+", choices=available_schemes(), default=None,
         help="schemes to degrade (default: all registered)",
     )
     ct_p.add_argument(
@@ -255,6 +268,10 @@ def _add_scheme_knobs(p: argparse.ArgumentParser) -> None:
         "--retransmit", action="store_true",
         help="arm the RB ack/retransmit protocol (implied by --supervise)",
     )
+    p.add_argument(
+        "--horizon", type=float, default=6.0,
+        help="prob confidence horizon h (µs); trades release h after arrival",
+    )
     p.add_argument("--c1", type=float, default=50.0, help="CloudEx data threshold (µs)")
     p.add_argument("--c2", type=float, default=50.0, help="CloudEx trade threshold (µs)")
     p.add_argument("--batch-interval", type=float, default=100_000.0, help="FBA period (µs)")
@@ -281,7 +298,7 @@ def _build_rt_model(args):
 
 
 def _scheme_kwargs(scheme: str, args) -> dict:
-    if scheme == "dbo":
+    if scheme in ("dbo", "prob"):
         kwargs = dict(
             params=DBOParams(
                 delta=args.delta,
@@ -289,14 +306,19 @@ def _scheme_kwargs(scheme: str, args) -> dict:
                 tau=args.tau,
                 straggler_threshold=args.straggler_threshold,
             ),
-            n_ob_shards=args.ob_shards,
         )
-        if args.agg_depth > 0:
-            kwargs["topology"] = AggregationTopology(
-                fanout=args.agg_fanout, depth=args.agg_depth
-            )
-        if args.sync_c1 is not None:
-            kwargs["sync_target_c1"] = args.sync_c1
+        if scheme == "prob":
+            # The probabilistic scheme swaps the release rule for a
+            # horizon; sharding/tree/sync knobs are DBO-only.
+            kwargs["horizon"] = args.horizon
+        else:
+            kwargs["n_ob_shards"] = args.ob_shards
+            if args.agg_depth > 0:
+                kwargs["topology"] = AggregationTopology(
+                    fanout=args.agg_fanout, depth=args.agg_depth
+                )
+            if args.sync_c1 is not None:
+                kwargs["sync_target_c1"] = args.sync_c1
         if args.supervise:
             kwargs["supervise"] = True
             kwargs["supervision_policy"] = SupervisionPolicy(
@@ -400,8 +422,8 @@ def cmd_chaos(args) -> int:
         # than failing arm-time validation on the default topology.
         if "shard_failure" in kinds and kwargs.get("n_ob_shards", 1) < 2:
             kwargs["n_ob_shards"] = 2
-        if "gateway_stall" in kinds:
-            kwargs["enable_egress_gateway"] = True
+    if args.scheme in ("dbo", "prob") and "gateway_stall" in kinds:
+        kwargs["enable_egress_gateway"] = True
     report = run_chaos(
         args.scheme,
         lambda: _build_specs(args),

@@ -12,39 +12,36 @@ platform) and enforces the delivery-clock ordering:
 * trades are forwarded in stamp order; ties break deterministically on
   ``(mp_id, trade_seq)``.
 
-Straggler mitigation (§4.2.1): the OB estimates each participant's
-round-trip lag from heartbeat content (``G(ld) + elapsed``) versus the
-heartbeat's arrival time.  A participant whose lag exceeds the threshold
-— or that has gone silent for that long — is excluded from the release
-rule until it recovers, trading that participant's fairness for everyone
-else's latency.
+The *decision* state — watermarks, the lazy extremes cache, straggler
+mitigation (§4.2.1) — lives in
+:class:`repro.ordering.dbo.DeliveryClockPolicy`; this class is the fused
+production engine driving it: it owns the trade heap, dedup and warm-up
+machinery, and a release loop that reaches into the policy's state with
+local aliasing so the hot path stays exactly as fast (and byte-identical
+in behavior) as the historical monolith.  The scheme-generic driver for
+the same policy surface is
+:class:`repro.core.release_engine.ReleaseEngine`.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.delivery_clock import DeliveryClockStamp
 from repro.exchange.messages import Heartbeat, TaggedTrade
+
+# The dataclass moved to the policy module with the state it describes;
+# ``repro.core.ordering_buffer.ParticipantState`` stays importable (and
+# in ``repro.core.__all__``).  Safe at module level: repro.ordering has
+# no runtime dependency on repro.core.
+from repro.ordering.dbo import DeliveryClockPolicy, ParticipantState
 
 __all__ = ["OrderingBuffer", "ParticipantState"]
 
 # Sink receiving released trades in their final order:
 # (tagged_trade, forward_time).
 ReleaseSink = Callable[[TaggedTrade, float], None]
-
-
-@dataclass
-class ParticipantState:
-    """The OB's per-participant progress view."""
-
-    mp_id: str
-    watermark: Optional[DeliveryClockStamp] = None
-    last_heartbeat_arrival: Optional[float] = None
-    last_lag_estimate: Optional[float] = None
-    is_straggler: bool = False
 
 
 class OrderingBuffer:
@@ -84,18 +81,21 @@ class OrderingBuffer:
     ) -> None:
         if not participants:
             raise ValueError("ordering buffer needs at least one participant")
-        if len(set(participants)) != len(participants):
-            raise ValueError("duplicate participant ids")
         self.sink = sink
         self.generation_time_of = generation_time_of
         self.straggler_threshold = straggler_threshold
-        # Latest point id the CES has generated (the OB is colocated with
-        # the CES).  Lets the lag estimate catch *starvation*: a
-        # participant whose delivery frontier is far behind generation.
         self.latest_point_id = latest_point_id
-        self.states: Dict[str, ParticipantState] = {
-            mp_id: ParticipantState(mp_id) for mp_id in participants
-        }
+        self.incremental_extremes = incremental_extremes
+        self._policy = DeliveryClockPolicy(
+            participants=participants,
+            generation_time_of=generation_time_of,
+            straggler_threshold=straggler_threshold,
+            latest_point_id=latest_point_id,
+            incremental_extremes=incremental_extremes,
+        )
+        # The per-participant view is the policy's; shared by reference
+        # (crash() resets it in place, so the identity is stable).
+        self.states: Dict[str, ParticipantState] = self._policy.states
         # Heap entries: (stamp tuple, mp_id, trade_seq, TaggedTrade).
         self._heap: List[Tuple[Tuple[int, float], str, int, TaggedTrade]] = []
         self._released: Set[Tuple[str, int]] = set()
@@ -103,19 +103,6 @@ class OrderingBuffer:
         # queued (or already released) trades are absorbed here instead of
         # tripping the double-queue assertion in the release loop.
         self._queued: Set[Tuple[str, int]] = set()
-        self.incremental_extremes = incremental_extremes
-        # Watermarks as plain tuples (mirrors states[*].watermark) plus a
-        # lazy min-heap of (watermark, mp_id) entries over non-straggler
-        # participants.  Advances push a fresh entry; reads pop entries
-        # whose tuple no longer matches `_wm` (stale).  Straggler flips,
-        # crashes and membership changes mark the heap dirty, forcing a
-        # rare O(N) rebuild that also refreshes the waited/unreported
-        # counts.
-        self._wm: Dict[str, Tuple[int, float]] = {}
-        self._ext_heap: List[Tuple[Tuple[int, float], str]] = []
-        self._n_waited = len(participants)
-        self._n_unreported = len(participants)
-        self._ext_dirty = False
         # Push-based warm-up (recovery): while non-empty, releases are
         # held until every listed participant's RecoveryMarker arrives.
         self._warmup_pending: Set[str] = set()
@@ -125,8 +112,6 @@ class OrderingBuffer:
         self.max_queue_depth = 0
         self.trades_lost_to_crash = 0
         self.retransmits_ignored = 0
-        self.straggler_ejections = 0
-        self.straggler_readmissions = 0
         self.warmup_holds = 0
         self.warmup_markers_received = 0
         self.warmup_timeouts = 0
@@ -136,12 +121,25 @@ class OrderingBuffer:
         self.sink = sink
 
     @property
+    def policy(self) -> DeliveryClockPolicy:
+        """The delivery-clock decision state this buffer drives."""
+        return self._policy
+
+    @property
     def queue_depth(self) -> int:
         return len(self._heap)
 
+    @property
+    def straggler_ejections(self) -> int:
+        return self._policy.straggler_ejections
+
+    @property
+    def straggler_readmissions(self) -> int:
+        return self._policy.straggler_readmissions
+
     def straggler_ids(self) -> List[str]:
         """Participants currently excluded from the release rule."""
-        return [s.mp_id for s in self.states.values() if s.is_straggler]
+        return self._policy.straggler_ids()
 
     # ------------------------------------------------------------------
     # Inputs
@@ -159,7 +157,7 @@ class OrderingBuffer:
             # back).  The first copy already counts; the duplicate is still
             # proof of progress, so its stamp feeds the watermark.
             self.retransmits_ignored += 1
-            self._advance_watermark(mp_id, stamp)
+            self._policy.advance_watermark(mp_id, stamp)
             self._try_release(arrival_time)
             return
         self._queued.add(key)
@@ -170,33 +168,34 @@ class OrderingBuffer:
         self.max_queue_depth = max(self.max_queue_depth, len(self._heap))
         # In-order delivery: a trade with stamp s proves everything from
         # this participant below s has been received — same as a heartbeat.
-        self._advance_watermark(mp_id, stamp)
+        self._policy.advance_watermark(mp_id, stamp)
         self._try_release(arrival_time)
 
     def on_heartbeat(self, heartbeat: Heartbeat, send_time: float, arrival_time: float) -> None:
         """Network handler for an arriving heartbeat."""
+        pol = self._policy
         mp_id = heartbeat.mp_id
-        state = self.states.get(mp_id)
+        state = pol.states.get(mp_id)
         if state is None:
             raise KeyError(f"heartbeat from unknown participant {mp_id!r}")
         self.heartbeats_processed += 1
         state.last_heartbeat_arrival = arrival_time
         stamp: Optional[DeliveryClockStamp] = heartbeat.clock
         if stamp is not None:
-            # `_advance_watermark` inlined — one call per heartbeat
+            # `advance_watermark` inlined — one call per heartbeat
             # arrival makes this the OB's hottest entry point.
             new_t = (stamp.last_point_id, stamp.elapsed)
-            wm = self._wm
+            wm = pol._wm
             old_t = wm.get(mp_id)
             if old_t is None or new_t > old_t:
                 wm[mp_id] = new_t
                 state.watermark = stamp
                 if self.incremental_extremes and not state.is_straggler:
                     if old_t is None:
-                        self._n_unreported -= 1
-                    heapq.heappush(self._ext_heap, (new_t, mp_id))
+                        pol._n_unreported -= 1
+                    heapq.heappush(pol._ext_heap, (new_t, mp_id))
             if self.straggler_threshold is not None:
-                self._update_straggler_state(state, stamp, arrival_time)
+                pol.update_straggler_state(state, stamp, arrival_time)
         # With nothing queued, no straggler tracking, and the incremental
         # extremes live, `_try_release` is a no-op — skip the call.  The
         # seed-emulating path (incremental_extremes=False) keeps its
@@ -205,134 +204,8 @@ class OrderingBuffer:
             self._try_release(arrival_time)
 
     # ------------------------------------------------------------------
-    # Straggler tracking (§4.2.1)
-    # ------------------------------------------------------------------
-    def _update_straggler_state(
-        self,
-        state: ParticipantState,
-        stamp: DeliveryClockStamp,
-        arrival_time: float,
-    ) -> None:
-        if self.straggler_threshold is None or self.generation_time_of is None:
-            return
-        generation = self.generation_time_of(stamp.last_point_id)
-        # Heartbeat generated `elapsed` after the delivery of point ld; it
-        # arrived now. Lag = full loop time from generation to arrival,
-        # minus the participant's own dwell time.
-        lag = arrival_time - generation - stamp.elapsed
-        if self.latest_point_id is not None:
-            latest = self.latest_point_id()
-            if latest > stamp.last_point_id:
-                # The next point this participant is owed has been
-                # outstanding since its generation: starvation counts as
-                # lag even while old-data heartbeats look healthy.
-                outstanding = arrival_time - self.generation_time_of(
-                    stamp.last_point_id + 1
-                )
-                lag = max(lag, outstanding)
-        state.last_lag_estimate = lag
-        straggler = lag > self.straggler_threshold
-        if straggler != state.is_straggler:
-            state.is_straggler = straggler
-            if straggler:
-                self.straggler_ejections += 1
-            else:
-                self.straggler_readmissions += 1
-            self._ext_dirty = True
-
-    def _check_silent_stragglers(self, now: float) -> None:
-        if self.straggler_threshold is None:
-            return
-        for state in self.states.values():
-            if state.last_heartbeat_arrival is None:
-                continue
-            if now - state.last_heartbeat_arrival > self.straggler_threshold:
-                if not state.is_straggler:
-                    state.is_straggler = True
-                    self.straggler_ejections += 1
-                    self._ext_dirty = True
-
-    # ------------------------------------------------------------------
     # Release rule
     # ------------------------------------------------------------------
-    def _advance_watermark(self, mp_id: str, stamp: DeliveryClockStamp) -> None:
-        new_t = (stamp.last_point_id, stamp.elapsed)
-        wm = self._wm
-        old_t = wm.get(mp_id)
-        if old_t is not None and new_t <= old_t:
-            return
-        wm[mp_id] = new_t
-        state = self.states[mp_id]
-        state.watermark = stamp
-        if self.incremental_extremes and not state.is_straggler:
-            if old_t is None:
-                self._n_unreported -= 1
-            heapq.heappush(self._ext_heap, (new_t, mp_id))
-
-    _TOP = DeliveryClockStamp(2**62, float("inf"))
-    _TOP_T = (2**62, float("inf"))
-
-    def _watermark_extremes(
-        self, now: float
-    ) -> Tuple[Optional[DeliveryClockStamp], Optional[str], Optional[DeliveryClockStamp]]:
-        """Lowest and second-lowest watermarks over non-straggler MPs.
-
-        Returns ``(min_watermark, min_mp_id, second_min_watermark)``.
-        A ``None`` min means some waited-on participant has not reported
-        yet; when every participant is a straggler both minima degrade to
-        a +∞ sentinel (release everything — pure FCFS degradation beats
-        stalling the market).
-        """
-        self._check_silent_stragglers(now)
-        min1: Optional[DeliveryClockStamp] = None
-        min1_mp: Optional[str] = None
-        min2: Optional[DeliveryClockStamp] = None
-        any_waited = False
-        for state in self.states.values():
-            if state.is_straggler:
-                continue
-            any_waited = True
-            if state.watermark is None:
-                return None, None, None
-            if min1 is None or state.watermark < min1:
-                min2 = min1
-                min1 = state.watermark
-                min1_mp = state.mp_id
-            elif min2 is None or state.watermark < min2:
-                min2 = state.watermark
-        if not any_waited:
-            return self._TOP, None, self._TOP
-        if min2 is None:
-            # Single waited-on participant: for its own trades there is
-            # nobody else to wait for.
-            min2 = self._TOP
-        return min1, min1_mp, min2
-
-    def _rebuild_ext_heap(self) -> None:
-        """Rebuild the lazy watermark heap and the waited/unreported counts.
-
-        Runs only after straggler flips, crashes, membership changes or
-        heap compaction — the steady-state path never scans all states.
-        """
-        wm = self._wm
-        entries: List[Tuple[Tuple[int, float], str]] = []
-        waited = 0
-        unreported = 0
-        for mp_id, state in self.states.items():
-            if state.is_straggler:
-                continue
-            waited += 1
-            t = wm.get(mp_id)
-            if t is None:
-                unreported += 1
-            else:
-                entries.append((t, mp_id))
-        heapq.heapify(entries)
-        self._ext_heap = entries
-        self._n_waited = waited
-        self._n_unreported = unreported
-        self._ext_dirty = False
-
     def _try_release(self, now: float) -> None:
         """Release every head trade proven safe by the watermarks.
 
@@ -346,30 +219,31 @@ class OrderingBuffer:
             # re-collected, so a lower-stamped trade may yet arrive.
             return
         heap = self._heap
+        pol = self._policy
         if self.incremental_extremes:
             if self.straggler_threshold is not None:
-                self._check_silent_stragglers(now)
+                pol.check_silent_stragglers(now)
             if not heap:
                 # Nothing queued: straggler bookkeeping above still ran,
                 # but there is no release decision to make, so skip the
                 # extremes probe entirely.
                 return
-            if self._ext_dirty:
-                self._rebuild_ext_heap()
-            if self._n_unreported:
+            if pol._ext_dirty:
+                pol.rebuild_ext_heap()
+            if pol._n_unreported:
                 return
-            n_waited = self._n_waited
+            n_waited = pol._n_waited
             if n_waited == 0:
                 # Every participant is a straggler: release everything
                 # (pure FCFS degradation beats stalling the market).
-                min1_t = min2_t = self._TOP_T
+                min1_t = min2_t = pol._TOP_T
                 min1_mp = None
             else:
-                ext_heap = self._ext_heap
+                ext_heap = pol._ext_heap
                 if len(ext_heap) > 64 + 4 * n_waited:
-                    self._rebuild_ext_heap()
-                    ext_heap = self._ext_heap
-                wm = self._wm
+                    pol.rebuild_ext_heap()
+                    ext_heap = pol._ext_heap
+                wm = pol._wm
                 while True:
                     entry = ext_heap[0]
                     if wm[entry[1]] == entry[0]:
@@ -380,7 +254,7 @@ class OrderingBuffer:
                 # trades; probe for it lazily on first need.
                 min2_t = None
         else:
-            min1, min1_mp, min2 = self._watermark_extremes(now)
+            min1, min1_mp, min2 = pol.watermark_extremes(now)
             if min1 is None:
                 return
             min1_t, min2_t = min1.as_tuple(), min2.as_tuple()
@@ -393,7 +267,7 @@ class OrderingBuffer:
                     if n_waited == 1:
                         # Single waited-on participant: for its own
                         # trades there is nobody else to wait for.
-                        min2_t = self._TOP_T
+                        min2_t = pol._TOP_T
                     else:
                         first = heapq.heappop(ext_heap)
                         while True:
@@ -433,13 +307,7 @@ class OrderingBuffer:
         self._heap.clear()
         self._queued.clear()
         self._warmup_pending.clear()
-        for state in self.states.values():
-            state.watermark = None
-            state.last_heartbeat_arrival = None
-            state.last_lag_estimate = None
-            state.is_straggler = False
-        self._wm.clear()
-        self._ext_dirty = True
+        self._policy.reset()
         self.trades_lost_to_crash += lost
         return lost
 
@@ -510,10 +378,7 @@ class OrderingBuffer:
         first report — the conservative choice: releasing without proof of
         its progress could reorder its in-flight trades.
         """
-        if mp_id in self.states:
-            return
-        self.states[mp_id] = ParticipantState(mp_id)
-        self._ext_dirty = True
+        self._policy.add_participant(mp_id)
 
     @property
     def released_keys(self) -> Set[Tuple[str, int]]:
@@ -537,8 +402,7 @@ class OrderingBuffer:
         self.max_queue_depth = max(self.max_queue_depth, predecessor.max_queue_depth)
         self.trades_lost_to_crash += predecessor.trades_lost_to_crash
         self.retransmits_ignored += predecessor.retransmits_ignored
-        self.straggler_ejections += predecessor.straggler_ejections
-        self.straggler_readmissions += predecessor.straggler_readmissions
+        self._policy.carry_over_counters(predecessor._policy)
         self.warmup_holds += predecessor.warmup_holds
         self.warmup_markers_received += predecessor.warmup_markers_received
         self.warmup_timeouts += predecessor.warmup_timeouts

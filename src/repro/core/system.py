@@ -20,7 +20,7 @@ from repro.baselines.base import BaseDeployment, NetworkSpec
 from repro.core.aggregation import ForwardingAggregator, plan_tree
 from repro.core.batcher import Batcher
 from repro.core.gateway import EgressGateway
-from repro.core.ordering_buffer import OrderingBuffer
+from repro.core.ordering_buffer import OrderingBuffer, ReleaseSink
 from repro.core.params import AggregationTopology, DBOParams, SupervisionPolicy
 from repro.core.release_buffer import ReleaseBuffer, RetransmitPolicy
 from repro.core.sharded_ob import MasterOB, ShardOB, build_sharded_ob
@@ -223,6 +223,23 @@ class DBODeployment(BaseDeployment):
         )
 
     # ------------------------------------------------------------------
+    def _make_ordering_buffer(self, sink: ReleaseSink) -> OrderingBuffer:
+        """Construct the flat ordering buffer (also used for standbys).
+
+        The single extension seam for schemes that keep DBO's whole
+        topology but swap the release rule — the probabilistic scheme
+        (:class:`repro.ordering.deployment.ProbDeployment`) overrides
+        this to return a horizon-based buffer.
+        """
+        return OrderingBuffer(
+            participants=list(self.mp_ids),
+            sink=sink,
+            generation_time_of=self.ces.generation_time_of,
+            straggler_threshold=self.params.straggler_threshold,
+            latest_point_id=lambda: self.ces.points_generated - 1,
+            incremental_extremes=self.ob_incremental_extremes,
+        )
+
     def _build(self) -> None:
         params = self.params
         me = self.ces.matching_engine
@@ -268,14 +285,7 @@ class DBODeployment(BaseDeployment):
         if self.topology is not None and self.topology.enabled:
             self._build_aggregation_tree(release_sink)
         elif self.n_ob_shards <= 1:
-            self.ordering_buffer = OrderingBuffer(
-                participants=list(self.mp_ids),
-                sink=release_sink,
-                generation_time_of=self.ces.generation_time_of,
-                straggler_threshold=params.straggler_threshold,
-                latest_point_id=lambda: self.ces.points_generated - 1,
-                incremental_extremes=self.ob_incremental_extremes,
-            )
+            self.ordering_buffer = self._make_ordering_buffer(release_sink)
             # Standby adoption (release log + counters) rides a channel so
             # it is observable/faultable like any other control traffic.
             # Priority -1 at zero latency delivers before every same-time
@@ -730,14 +740,7 @@ class DBODeployment(BaseDeployment):
         if not self._ob_crashed:
             raise RuntimeError("no crashed OB to replace")
         old = self.ordering_buffer
-        standby = OrderingBuffer(
-            participants=list(self.mp_ids),
-            sink=self._release_sink,
-            generation_time_of=self.ces.generation_time_of,
-            straggler_threshold=self.params.straggler_threshold,
-            latest_point_id=lambda: self.ces.points_generated - 1,
-            incremental_extremes=self.ob_incremental_extremes,
-        )
+        standby = self._make_ordering_buffer(self._release_sink)
         # The routing swap is immediate (dispatchers resolve per message);
         # the durable state hand-off (release log + counters) travels on
         # the "ob-adopt" channel, delivered ahead of any same-time data.

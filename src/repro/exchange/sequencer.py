@@ -6,9 +6,11 @@ response-time order, so FCFS is fair *there*.  In the cloud, arrival order
 reflects network luck — the Direct baseline routes trades through this
 sequencer and measures exactly how unfair that is (Tables 2 and 3).
 
-The sequencer also supports tie-breaking policies for trades arriving at
-the same instant, which matters for the Libra baseline (random priority)
-and for deterministic tests.
+The Direct deployment itself now routes through
+:class:`repro.ordering.direct.PassthroughPolicy` on the shared
+:class:`repro.core.release_engine.ReleaseEngine` (the FCFS rule as an
+ordering policy); this standalone sequencer remains the minimal
+reference implementation for component-level tests and examples.
 """
 
 from __future__ import annotations

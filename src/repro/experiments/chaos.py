@@ -373,14 +373,17 @@ def run_chaos(
     supervise = bool(kwargs.get("supervise"))
     recovery = "detected" if supervise else "scripted"
     crash_kinds = kinds & {"ob_failover", "shard_failure", "aggregator_failure"}
-    if scheme == "dbo" and supervise and crash_kinds:
+    # The retransmit/ack machinery exists on the full DBO topology —
+    # which the probabilistic scheme shares wholesale.
+    dbo_topology = scheme in ("dbo", "prob")
+    if dbo_topology and supervise and crash_kinds:
         # Supervised recovery re-collects the unacked windows; without a
         # retransmit policy the crash window is lost by design and the
         # detected/scripted digest equivalence cannot hold.
         from repro.core.release_buffer import RetransmitPolicy
 
         kwargs.setdefault("retransmit_policy", RetransmitPolicy())
-    if scheme == "dbo" and any(
+    if dbo_topology and any(
         fault.channel is not None and fault.channel.startswith("ack-")
         for fault in plan
     ):

@@ -165,12 +165,18 @@ def _register_builtin_schemes() -> None:
     from repro.baselines.fba import FBADeployment
     from repro.baselines.libra import LibraDeployment
     from repro.core.system import DBODeployment
+    from repro.ordering.deployment import ProbDeployment
 
     register_scheme("dbo", DBODeployment, "DBO: delivery-clock fair ordering (§4)")
     register_scheme("direct", DirectDeployment, "Direct delivery + FCFS (§6.1)")
     register_scheme("cloudex", CloudExDeployment, "CloudEx sync-clock hold (§2.1)")
     register_scheme("fba", FBADeployment, "Frequent batch auctions (§2.1)")
     register_scheme("libra", LibraDeployment, "Libra randomized windows (§2.1)")
+    register_scheme(
+        "prob",
+        ProbDeployment,
+        "Probabilistic ordering: fixed confidence horizon (beyond Lamport)",
+    )
 
 
 _register_builtin_schemes()

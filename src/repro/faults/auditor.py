@@ -45,6 +45,12 @@ __all__ = ["InvariantAuditor", "AuditReport", "Violation"]
 
 SAFETY_KINDS = ("release_order", "duplicate_release", "watermark_regression")
 LIVENESS_KINDS = ("progress_stall", "heartbeat_gap", "recovery_stalled")
+# Measured-degradation kinds: schemes with ``ordering_guarantee ==
+# "probabilistic"`` (repro.ordering.deployment.ProbDeployment) *expect*
+# a bounded rate of stamp-order regressions; the auditor books them
+# under their own kind so they are counted, CI-estimated and compared
+# against the theory bound — without flagging the run unsafe.
+PROBABILISTIC_KINDS = ("ordering_inversion",)
 
 
 @dataclass(frozen=True)
@@ -161,6 +167,9 @@ class InvariantAuditor:
         )
         self.deployment: Any = None
         self.attached = False
+        # Set at attach() from the deployment's ordering_guarantee: a
+        # probabilistic scheme's stamp regressions are expected events.
+        self._probabilistic = False
         self.violations: List[Violation] = []
         self.releases_checked = 0
         self.heartbeats_checked = 0
@@ -191,6 +200,10 @@ class InvariantAuditor:
         if getattr(deployment, "_built", False):
             raise RuntimeError("attach the auditor before the deployment builds (run())")
         self.deployment = deployment
+        self._probabilistic = (
+            getattr(deployment, "ordering_guarantee", "deterministic")
+            == "probabilistic"
+        )
         if hasattr(deployment, "_release_observers"):
             deployment._release_observers.append(self._on_release)
             deployment._heartbeat_observers.append(self._on_heartbeat)
@@ -253,7 +266,7 @@ class InvariantAuditor:
         stamp = tagged.clock.as_tuple()
         if self._last_release_stamp is not None and stamp < self._last_release_stamp:
             self._record(
-                "release_order",
+                "ordering_inversion" if self._probabilistic else "release_order",
                 now,
                 f"stamp {stamp} released after {self._last_release_stamp}",
                 tagged.trade.mp_id,

@@ -30,6 +30,8 @@ _INTERESTING_COUNTERS = (
     "batches_dropped_crashed",
     "straggler_ejections",
     "straggler_readmissions",
+    # Probabilistic ordering: expected (theory-bounded) stamp inversions.
+    "ordering_inversions",
     "packets_blackholed",
     "packets_dropped_in_burst",
     "gateway_stalls",

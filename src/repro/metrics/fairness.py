@@ -89,12 +89,12 @@ def evaluate_fairness(result: RunResult) -> FairnessReport:
     correct = 0
     total = 0
     unordered = sum(1 for t in result.trades if not t.completed)
-    # Pair counts are commutative integer sums: race visit order cannot
-    # change the report.
-    for trades in races.values():  # dbo: ignore[DBO103]
+    # Pair counts are commutative integer sums, but iterate races in
+    # trigger order anyway — explicit order beats a suppression.
+    for trigger in sorted(races):
         # Sort by response time: all pairs (faster, slower) then reduce to
         # a single O(n log n + pairs) sweep per race.
-        trades_sorted = sorted(trades, key=lambda t: t.response_time)
+        trades_sorted = sorted(races[trigger], key=lambda t: t.response_time)
         for i in range(len(trades_sorted)):
             for j in range(i + 1, len(trades_sorted)):
                 verdict = pairwise_correct(trades_sorted[i], trades_sorted[j])
@@ -119,9 +119,10 @@ def causality_violations(result: RunResult) -> int:
     by_mp: Dict[str, List[TradeRecord]] = {}
     for trade in result.completed_trades:
         by_mp.setdefault(trade.mp_id, []).append(trade)
-    # Violation counts are commutative integer sums over per-MP groups.
-    for trades in by_mp.values():  # dbo: ignore[DBO103]
-        trades_sorted = sorted(trades, key=lambda t: t.submission_time)
+    # Violation counts are commutative integer sums over per-MP groups;
+    # iterate participants in name order for an explicit, hash-free order.
+    for mp_id in sorted(by_mp):
+        trades_sorted = sorted(by_mp[mp_id], key=lambda t: t.submission_time)
         for earlier, later in zip(trades_sorted, trades_sorted[1:]):
             if earlier.submission_time < later.submission_time and earlier.position > later.position:
                 violations += 1
@@ -141,9 +142,10 @@ def fairness_by_rt_bucket(
     """
     races = result.trades_by_trigger()
     tallies: Dict[Tuple[float, float], List[int]] = {b: [0, 0] for b in buckets}
-    # Bucket tallies are commutative integer sums: race order is immaterial.
-    for trades in races.values():  # dbo: ignore[DBO103]
-        trades_sorted = sorted(trades, key=lambda t: t.response_time)
+    # Bucket tallies are commutative integer sums; trigger order is the
+    # explicit iteration order.
+    for trigger in sorted(races):
+        trades_sorted = sorted(races[trigger], key=lambda t: t.response_time)
         for i in range(len(trades_sorted)):
             for j in range(i + 1, len(trades_sorted)):
                 verdict = pairwise_correct(trades_sorted[i], trades_sorted[j])
@@ -165,7 +167,6 @@ def fairness_by_rt_bucket(
             races=len(races),
             unordered_trades=0,
         )
-        # Keyed by the caller's bucket sequence; insertion order *is* the
-        # explicit order.
-        for bucket, counts in tallies.items()  # dbo: ignore[DBO103]
+        # Keyed by the caller's bucket sequence — the explicit order.
+        for bucket, counts in ((b, tallies[b]) for b in buckets)
     }

@@ -1,0 +1,61 @@
+"""Pluggable ordering policies — the release decision as a first-class layer.
+
+Every scheme in the repository answers the same three questions about a
+trade arriving at the exchange boundary: *may it go to the matching
+engine right now* (the hold predicate), *when does the hold lift* (a
+timer, a batch boundary, or a watermark proof), and *in what order do
+held trades leave* (stamp order, shuffled, arrival order).  Historically
+each deployment answered them with a bespoke loop — DBO inside
+:mod:`repro.core.ordering_buffer`, CloudEx/FBA/Libra/Direct each inside
+their ``baselines/`` module — so every cross-cutting feature (channels,
+faults, supervision, audits) was wired five times.
+
+This package extracts the decision into an :class:`OrderingPolicy`
+protocol (admit → hold predicate → release order → watermark
+contribution) with one concrete policy per scheme:
+
+========== ==================================== ===========================
+policy     hold predicate                       release order
+========== ==================================== ===========================
+direct     never holds                          arrival order (FCFS)
+cloudex    until ``S + C2`` on the sync clock   submission-stamp order
+fba        until the next auction boundary      uniform random shuffle
+libra      until the window closes              uniform random shuffle
+dbo        until every watermark passes         delivery-clock stamp order
+prob       until ``arrival + h`` (confidence)   stamp order, w.h.p. correct
+========== ==================================== ===========================
+
+The generic driver lives in :class:`repro.core.release_engine.ReleaseEngine`;
+the DBO fast path keeps its fused loop in
+:class:`repro.core.ordering_buffer.OrderingBuffer`, which now delegates
+all watermark/straggler state to :class:`DeliveryClockPolicy`.
+
+The probabilistic deployment (:class:`~repro.ordering.deployment
+.ProbDeployment`) is intentionally *not* imported here: it builds on
+:mod:`repro.core.system`, which itself imports this package for
+:class:`DeliveryClockPolicy` — importing it at package level would
+create a cycle.  The scheme registry imports it directly.
+"""
+
+from __future__ import annotations
+
+from repro.ordering.cloudex import SyncDeadlinePolicy
+from repro.ordering.dbo import DeliveryClockPolicy
+from repro.ordering.direct import PassthroughPolicy
+from repro.ordering.fba import BatchAuctionPolicy
+from repro.ordering.libra import RandomizedWindowPolicy
+from repro.ordering.policy import HOLD, RELEASE_NOW, Admission, OrderingPolicy
+from repro.ordering.prob import ProbabilisticPolicy
+
+__all__ = [
+    "Admission",
+    "BatchAuctionPolicy",
+    "DeliveryClockPolicy",
+    "HOLD",
+    "OrderingPolicy",
+    "PassthroughPolicy",
+    "ProbabilisticPolicy",
+    "RELEASE_NOW",
+    "RandomizedWindowPolicy",
+    "SyncDeadlinePolicy",
+]

@@ -1,0 +1,21 @@
+"""Libra (Mavroudis & Melton, AFT'19) — randomized short windows (§2.1).
+
+Structurally the same hold rule as the batch auction — collect, then
+shuffle at the boundary — but over windows short enough that a faster
+participant still lands in an earlier window more often than not: the
+speed race is blurred, not abolished.  The policies differ only in name
+(and in the deployment-level topology: Libra leaves the forward path
+untouched, FBA batches market data too).
+"""
+
+from __future__ import annotations
+
+from repro.ordering.fba import BatchAuctionPolicy
+
+__all__ = ["RandomizedWindowPolicy"]
+
+
+class RandomizedWindowPolicy(BatchAuctionPolicy):
+    """Hold until window close; release in shuffled order."""
+
+    name = "libra"

@@ -13,6 +13,9 @@ made *checkable*:
 * :func:`theorem3_lmin` evaluates the latency lower bound.
 * :func:`theorem4_pair_guaranteed` is the C3 predicate for non-colocated
   release buffers.
+* :func:`prob_ordering_bound` is *not* from the paper: it bounds the
+  inversion rate of the horizon-based probabilistic ordering scheme this
+  repo adds as a sixth comparison point (``repro.ordering.prob``).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ __all__ = [
     "corollary1_condition_holds",
     "theorem3_lmin",
     "theorem4_pair_guaranteed",
+    "prob_ordering_bound",
 ]
 
 
@@ -138,3 +142,40 @@ def theorem4_pair_guaranteed(
     if bh_fast < 0 or bl_slow < 0:
         raise ValueError("latency bounds must be non-negative")
     return rt_fast < rt_slow - (bh_fast - bl_slow) and rt_fast < delta - bh_fast
+
+
+def prob_ordering_bound(
+    horizon: float, spread: float, competitors: int = 1
+) -> float:
+    """Inversion-probability bound for horizon-based release (``prob``).
+
+    The probabilistic ordering buffer
+    (:class:`repro.ordering.deployment.ProbOrderingBuffer`) releases a
+    trade ``h = horizon`` µs after its arrival, in stamp order among
+    queued trades.  A released trade is *inverted* when a smaller-stamped
+    rival arrives only after the release — i.e. when the rival's arrival
+    lag (true arrival minus stamp-implied send) exceeds this trade's lag
+    by more than ``h``.
+
+    Model: pairwise arrival lags i.i.d. uniform on ``[0, spread]`` (the
+    network's arrival-lag spread ``S``).  For one rival,
+
+        ``P[L_rival − L_self > h] = ((S − h) / S)² / 2``   for 0 ≤ h < S
+
+    (the tail of the triangular difference distribution), and exactly 0
+    for ``h ≥ S`` — a horizon covering the whole spread reproduces the
+    deterministic order.  With ``competitors`` simultaneous rivals the
+    union bound multiplies the pairwise tail, capped at 1.
+
+    Returns the per-release inversion-probability bound ε.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    if competitors < 1:
+        raise ValueError("competitors must be at least 1")
+    if horizon >= spread:
+        return 0.0
+    tail = ((spread - horizon) / spread) ** 2 / 2.0
+    return min(1.0, competitors * tail)

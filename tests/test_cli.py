@@ -26,6 +26,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "9"])
 
+    def test_scheme_choices_track_registry(self):
+        """Every --scheme/--schemes flag offers exactly the registered schemes.
+
+        Registering a new scheme must surface it on the CLI without
+        touching the parser; this test pins that the choices (and help
+        text) are *derived* from the registry, not a hand-kept list.
+        """
+        import argparse
+
+        from repro.experiments.registry import REGISTRY, available_schemes
+
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        expected = list(available_schemes())
+        scheme_flags = described_flags = 0
+        for subparser in set(sub.choices.values()):
+            for action in subparser._actions:
+                if action.dest in ("scheme", "schemes"):
+                    assert list(action.choices) == expected
+                    scheme_flags += 1
+                    if f"{expected[0]}:" in (action.help or ""):
+                        for name in expected:
+                            assert REGISTRY.get(name).description in action.help
+                        described_flags += 1
+        assert scheme_flags >= 4  # run, compare, chaos, chaos-table
+        assert described_flags >= 3  # run, compare, chaos carry full help
+
+    def test_prob_scheme_accepts_horizon(self):
+        args = build_parser().parse_args(
+            ["run", "--scheme", "prob", "--horizon", "4.5"]
+        )
+        assert args.scheme == "prob"
+        assert args.horizon == 4.5
+        assert build_parser().parse_args(["run"]).horizon == 6.0
+
 
 class TestRun:
     def test_run_dbo_prints_digest(self, capsys):

@@ -44,7 +44,7 @@ BASELINE = "heap"
 CANDIDATES = ["wheel", "calendar"]
 ALL_ENGINES = [BASELINE] + CANDIDATES
 
-SCHEMES = ["direct", "cloudex", "fba", "dbo", "libra"]
+SCHEMES = ["direct", "cloudex", "fba", "dbo", "libra", "prob"]
 
 # (name, n_participants, seed, duration): one tiny cell and one with
 # enough participants to exercise multi-way watermark races.

@@ -34,7 +34,7 @@ from repro.experiments.tables import table2_baremetal, table3_cloud, table4_slow
 
 class TestRunner:
     def test_all_schemes_registered(self):
-        assert set(SCHEMES) == {"dbo", "direct", "cloudex", "fba", "libra"}
+        assert set(SCHEMES) == {"dbo", "direct", "cloudex", "fba", "libra", "prob"}
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError):
@@ -49,6 +49,7 @@ class TestRunner:
             # FBA's default 100 ms auction period exceeds this tiny run.
             ("fba", {"batch_interval": 500.0}),
             ("libra", {}),
+            ("prob", {}),
         ],
     )
     def test_every_scheme_runs(self, scheme, kwargs):

@@ -15,11 +15,11 @@ from repro.experiments.runner import SCHEMES, build_deployment
 from repro.sim.engine import BucketWheelEngine, HeapEventEngine
 from repro.sim.runtime import Runtime
 
-ALL_SCHEMES = {"dbo", "direct", "cloudex", "fba", "libra"}
+ALL_SCHEMES = {"dbo", "direct", "cloudex", "fba", "libra", "prob"}
 
 
 class TestRegistryContents:
-    def test_five_builtin_schemes_registered(self):
+    def test_six_builtin_schemes_registered(self):
         assert set(available_schemes()) == ALL_SCHEMES
         for name in ALL_SCHEMES:
             builder = get_builder(name)
@@ -55,7 +55,7 @@ class TestRegistryContents:
         assert "dbo" in REGISTRY
         assert "quantum" not in REGISTRY
         assert list(REGISTRY) == sorted(ALL_SCHEMES)
-        assert len(REGISTRY) == 5
+        assert len(REGISTRY) == 6
 
 
 class TestBuilderConstruction:

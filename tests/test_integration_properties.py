@@ -69,7 +69,14 @@ def scenario(draw):
     tight = draw(st.booleans())
     seed = draw(st.integers(min_value=0, max_value=10_000))
     if tight:
-        rt_model = RaceResponseTime(n, low=2.0, high=delta - 0.5, gap=0.2, seed=seed)
+        # RaceResponseTime staggers ranks above the base (RT = base +
+        # gap·rank), so cap the base range such that even the slowest
+        # racer stays strictly inside the δ horizon — the premise every
+        # test here relies on.
+        gap = 0.2
+        rt_model = RaceResponseTime(
+            n, low=2.0, high=delta - 0.5 - gap * (n - 1), gap=gap, seed=seed
+        )
     else:
         rt_model = UniformResponseTime(low=2.0, high=delta - 0.5, seed=seed)
     return specs, DBOParams(delta=delta, kappa=kappa, tau=tau), interval, rt_model, seed

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.parallel",
     "repro.lint",
+    "repro.ordering",
 ]
 
 
